@@ -1,0 +1,71 @@
+//! Shared baseline hyper-parameters.
+
+use embed::SgdParams;
+
+/// Parameters shared by the embedding baselines; matched to ACTOR's
+/// configuration so Table 2 is an apples-to-apples comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineParams {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Total edge samples.
+    pub samples: u64,
+    /// Hogwild threads.
+    pub threads: usize,
+    /// SGD step parameters.
+    pub sgd: SgdParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineParams {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            samples: 4_000_000,
+            threads: 1,
+            sgd: SgdParams::default(),
+            seed: 0xBA5E,
+        }
+    }
+}
+
+impl BaselineParams {
+    /// Derives baseline parameters from an ACTOR configuration so both
+    /// sides of a comparison get the same budget: the per-type budget of
+    /// ACTOR times the number of edge types it trains.
+    pub fn matched_to(config: &actor_core::ActorConfig) -> Self {
+        Self {
+            dim: config.dim,
+            samples: config.samples_per_type() * 7,
+            threads: config.threads,
+            sgd: config.sgd(),
+            seed: config.seed ^ 0xBA5E,
+        }
+    }
+
+    /// Fast settings for tests.
+    pub fn fast() -> Self {
+        Self {
+            dim: 32,
+            samples: 150_000,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_budget_scales_with_actor() {
+        let mut c = actor_core::ActorConfig::fast();
+        c.batch_size = 10;
+        c.batches_per_type = 2;
+        c.max_epochs = 3;
+        let p = BaselineParams::matched_to(&c);
+        assert_eq!(p.samples, 10 * 2 * 3 * 7);
+        assert_eq!(p.dim, c.dim);
+    }
+}

@@ -1,0 +1,5 @@
+//! Geographical topic-model baselines (LGTA, MGTM).
+
+pub mod common;
+pub mod lgta;
+pub mod mgtm;

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks backing the paper's complexity claim
+//! (§5.4: one optimization step costs `O(d(K+1))` given O(1) alias
+//! sampling, overall `O(dK|E|)`):
+//!
+//! * alias-table build and draw,
+//! * one negative-sampling SGD step (scalar in `d`),
+//! * one mean-shift mode seek,
+//! * activity-graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use embed::{EmbeddingStore, NegativeSamplingUpdate, SgdParams};
+use hotspot::{MeanShiftParams, SpatialHotspots, TemporalHotspots};
+use mobility::synth::{generate, DatasetPreset};
+use mobility::GeoPoint;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use stgraph::{ActivityGraphBuilder, AliasTable, BuildOptions};
+
+fn bench_alias(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let weights: Vec<f64> = (0..100_000).map(|_| rng.random_range(0.1..10.0)).collect();
+
+    {
+        let mut g = c.benchmark_group("alias_build");
+        g.sample_size(30);
+        g.bench_function("alias/build_100k", |b| {
+            b.iter(|| AliasTable::new(black_box(&weights)).unwrap())
+        });
+        g.finish();
+    }
+
+    let table = AliasTable::new(&weights).unwrap();
+    c.bench_function("alias/sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+}
+
+fn bench_sgd_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd/step");
+    for dim in [32usize, 128, 300] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let store = EmbeddingStore::init(1000, dim, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut upd = NegativeSamplingUpdate::new(dim, SgdParams::default());
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let center = rng.random_range(0..1000);
+                let ctx = rng.random_range(0..1000);
+                upd.step(&store, center, ctx, &mut rng, |r| r.random_range(0..1000))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_meanshift(c: &mut Criterion) {
+    let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(5)).unwrap();
+    let points: Vec<GeoPoint> = corpus.records().iter().map(|r| r.location).collect();
+    let seconds: Vec<f64> = corpus.records().iter().map(|r| r.second_of_day()).collect();
+
+    let mut c = c.benchmark_group("meanshift");
+    c.sample_size(10);
+    c.bench_function("meanshift/spatial_3k", |b| {
+        b.iter(|| {
+            SpatialHotspots::detect(
+                black_box(&points),
+                MeanShiftParams::with_bandwidth(0.008),
+                3,
+            )
+        })
+    });
+    c.bench_function("meanshift/temporal_3k", |b| {
+        b.iter(|| {
+            TemporalHotspots::detect(
+                black_box(&seconds),
+                MeanShiftParams::with_bandwidth(1800.0),
+                3,
+            )
+        })
+    });
+    c.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(6)).unwrap();
+    let points: Vec<GeoPoint> = corpus.records().iter().map(|r| r.location).collect();
+    let seconds: Vec<f64> = corpus.records().iter().map(|r| r.second_of_day()).collect();
+    let spatial = SpatialHotspots::detect(&points, MeanShiftParams::with_bandwidth(0.008), 3);
+    let temporal = TemporalHotspots::detect(&seconds, MeanShiftParams::with_bandwidth(1800.0), 3);
+    let ids: Vec<mobility::RecordId> = (0..corpus.len()).map(mobility::RecordId::from).collect();
+
+    let mut c = c.benchmark_group("graph");
+    c.sample_size(10);
+    c.bench_function("graph/build_3k_records", |b| {
+        let builder =
+            ActivityGraphBuilder::new(&corpus, &spatial, &temporal, BuildOptions::default());
+        b.iter(|| builder.build(black_box(&ids)))
+    });
+    c.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alias,
+    bench_sgd_step,
+    bench_meanshift,
+    bench_graph_build
+);
+criterion_main!(benches);

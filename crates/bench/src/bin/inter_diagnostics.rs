@@ -1,0 +1,72 @@
+//! Decomposes the inter-record pathway on the mention-rich preset:
+//! which of its three ingredients — mentioned-user edges, the hierarchical
+//! initialization, the `M_inter` training itself — helps or hurts, and by
+//! how much. A finer-grained companion to Table 4's single `w/o inter`
+//! switch.
+//!
+//! Run: `cargo run -p actor-bench --bin inter_diagnostics --release [-- --fast]`
+
+use actor_core::ActorConfig;
+use benchkit::{dataset, Flags, ZooConfig};
+use evalkit::report::{fmt_mrr, Table};
+use evalkit::{evaluate_mrr, EvalParams, PredictionTask};
+use mobility::synth::DatasetPreset;
+
+fn main() {
+    let flags = Flags::from_env();
+    println!("== Inter-record pathway diagnostics (synth-utgeo2011) ==\n");
+    let d = dataset(DatasetPreset::Utgeo2011, flags.seed, flags.fast);
+    let base = if flags.fast {
+        ZooConfig::fast(flags.threads, flags.seed)
+    } else {
+        ZooConfig::standard(flags.threads, flags.seed)
+    }
+    .actor;
+
+    let variants: Vec<(&str, ActorConfig)> = vec![
+        ("complete", base.clone()),
+        (
+            "no mentioned-user edges",
+            ActorConfig {
+                include_mentioned_users: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no hierarchical init",
+            ActorConfig {
+                init_scale: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "no inter at all (w/o inter)",
+            ActorConfig {
+                use_inter: false,
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let mut table = Table::new(["variant", "Text", "Location", "Time"]);
+    for (name, config) in variants {
+        let (model, _) = actor_core::fit(&d.corpus, &d.split.train, &config).expect("fit");
+        let params = EvalParams {
+            seed: flags.seed ^ 0xE7A1,
+            ..EvalParams::default()
+        };
+        let mut cells = vec![name.to_string()];
+        for task in PredictionTask::ALL {
+            cells.push(fmt_mrr(evaluate_mrr(
+                &model,
+                &d.corpus,
+                &d.split.test,
+                task,
+                &params,
+            )));
+        }
+        table.row(cells);
+        eprintln!("{name} done");
+    }
+    println!("{}", table.render());
+}

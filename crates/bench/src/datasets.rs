@@ -1,0 +1,55 @@
+//! Dataset generation for the experiment binaries.
+
+use mobility::synth::{generate, DatasetPreset, GroundTruth};
+use mobility::{Corpus, CorpusSplit, SplitSpec};
+
+/// A generated dataset with its split and latent ground truth.
+pub struct Dataset {
+    /// The preset that produced it.
+    pub preset: DatasetPreset,
+    /// The corpus.
+    pub corpus: Corpus,
+    /// Train/valid/test record ids.
+    pub split: CorpusSplit,
+    /// Generator ground truth (for diagnostics only — no model sees it).
+    pub ground_truth: GroundTruth,
+}
+
+/// Generates a preset's corpus and split. `fast` shrinks the corpus ~10×.
+pub fn dataset(preset: DatasetPreset, seed: u64, fast: bool) -> Dataset {
+    let mut config = preset.config(seed);
+    if fast {
+        config.n_records /= 10;
+        config.n_users /= 5;
+        config.n_communities /= 2;
+    }
+    let (corpus, ground_truth) = generate(config).expect("preset configs are valid");
+    let split = CorpusSplit::new(
+        &corpus,
+        SplitSpec {
+            seed: seed ^ 0x51_17,
+            ..SplitSpec::default()
+        },
+    )
+    .expect("default split fractions are valid");
+    Dataset {
+        preset,
+        corpus,
+        split,
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_dataset_generates_quickly_and_splits() {
+        let d = dataset(DatasetPreset::Foursquare, 1, true);
+        assert_eq!(d.corpus.len(), 2_000);
+        assert_eq!(d.split.len(), d.corpus.len());
+        assert!(!d.split.test.is_empty());
+        assert_eq!(d.ground_truth.location_activity.len(), d.corpus.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal CLI-flag parsing for the experiment binaries.
+
+/// Flags shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Flags {
+    /// `--fast`: shrink corpora and training budgets (~10× faster, same
+    /// qualitative shape). Useful for smoke-testing a harness.
+    pub fast: bool,
+    /// `--threads N`: Hogwild worker threads (default 4).
+    pub threads: usize,
+    /// `--seed N`: base RNG seed.
+    pub seed: u64,
+    /// `--runs N`: repetitions to average (the paper averages 5 runs).
+    pub runs: usize,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Self {
+            fast: false,
+            threads: 4,
+            seed: 20140801,
+            runs: 1,
+        }
+    }
+}
+
+impl Flags {
+    /// Parses from an argument iterator (skip the program name first).
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
+        let mut flags = Self::default();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => flags.fast = true,
+                "--threads" => {
+                    flags.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads needs a positive integer")?;
+                }
+                "--seed" => {
+                    flags.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs an integer")?;
+                }
+                "--runs" => {
+                    flags.runs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--runs needs a positive integer")?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--fast] [--threads N] [--seed N] [--runs N]".into())
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if flags.threads == 0 || flags.runs == 0 {
+            return Err("--threads and --runs must be positive".into());
+        }
+        Ok(flags)
+    }
+
+    /// Parses from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(f) => f,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Flags, String> {
+        Flags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let f = parse(&[]).unwrap();
+        assert!(!f.fast);
+        assert_eq!(f.threads, 4);
+        assert_eq!(f.runs, 1);
+    }
+
+    #[test]
+    fn all_flags() {
+        let f = parse(&["--fast", "--threads", "2", "--seed", "7", "--runs", "3"]).unwrap();
+        assert!(f.fast);
+        assert_eq!(f.threads, 2);
+        assert_eq!(f.seed, 7);
+        assert_eq!(f.runs, 3);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "zero"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; this library
+//! holds the pieces they share: dataset generation, the model zoo,
+//! paper-reference numbers, and a tiny CLI-flag helper. See DESIGN.md §4
+//! for the experiment-to-binary index.
+
+pub mod datasets;
+pub mod flags;
+pub mod paper;
+pub mod zoo;
+
+pub use datasets::{dataset, Dataset};
+pub use flags::Flags;
+pub use zoo::{train_zoo, ZooConfig, ZooModel};

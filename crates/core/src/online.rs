@@ -1,0 +1,358 @@
+//! Online (streaming) updates — the ReAct-style extension.
+//!
+//! The paper's authors followed CrossMap with ReAct ("online multimodal
+//! embedding for recency-aware spatiotemporal activity modeling", their
+//! reference \[8\]). This module brings the same capability to ACTOR as an
+//! extension: a fitted [`TrainedModel`] keeps learning from a stream of
+//! new records with small SGD steps plus replay over a recency buffer, so
+//! embeddings track drifting activity patterns without a full refit.
+//!
+//! Scope of the extension (documented limitations, mirroring §4.3):
+//! hotspots are *not* re-detected — new records are assigned to their
+//! closest existing spatial/temporal hotspots, exactly the rule the paper
+//! uses for unseen data points; unseen keywords or users are skipped.
+
+use std::collections::VecDeque;
+
+use embed::{NegativeSamplingUpdate, SgdParams};
+use mobility::Record;
+use rand::seq::IndexedRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use stgraph::{NodeId, NodeType};
+
+use crate::model::TrainedModel;
+
+/// Streaming-update parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineParams {
+    /// Learning rate for streaming steps (smaller than batch training —
+    /// each record is seen once).
+    pub learning_rate: f32,
+    /// Negative samples per step.
+    pub negatives: usize,
+    /// SGD passes over each incoming record's unit pairs.
+    pub steps_per_record: usize,
+    /// Replayed buffer records per incoming record (recency replay).
+    pub replay: usize,
+    /// Recency buffer capacity.
+    pub buffer: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OnlineParams {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            negatives: 2,
+            steps_per_record: 2,
+            replay: 4,
+            buffer: 4096,
+            seed: 0x051,
+        }
+    }
+}
+
+/// Units of one streamed record under the model's node space.
+#[derive(Debug, Clone)]
+struct StreamUnits {
+    time: NodeId,
+    location: NodeId,
+    words: Vec<NodeId>,
+    user: Option<NodeId>,
+}
+
+/// A model wrapper that keeps learning from streamed records.
+pub struct OnlineActor {
+    model: TrainedModel,
+    params: OnlineParams,
+    updater: NegativeSamplingUpdate,
+    rng: StdRng,
+    buffer: VecDeque<StreamUnits>,
+    /// Nodes of each type observed in the stream, for negative sampling.
+    seen: [Vec<NodeId>; 4],
+    observed: u64,
+    skipped_words: u64,
+}
+
+impl OnlineActor {
+    /// Wraps a fitted model for streaming updates.
+    pub fn new(model: TrainedModel, params: OnlineParams) -> Self {
+        let dim = model.store().dim();
+        Self {
+            updater: NegativeSamplingUpdate::new(
+                dim,
+                SgdParams {
+                    learning_rate: params.learning_rate,
+                    negatives: params.negatives,
+                },
+            ),
+            rng: StdRng::seed_from_u64(params.seed),
+            buffer: VecDeque::with_capacity(params.buffer),
+            seen: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            observed: 0,
+            skipped_words: 0,
+            model,
+            params,
+        }
+    }
+
+    /// The wrapped (continuously updated) model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Records observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Keyword tokens skipped because they were unknown at fit time.
+    pub fn skipped_words(&self) -> u64 {
+        self.skipped_words
+    }
+
+    /// Consumes the wrapper, returning the updated model.
+    pub fn into_model(self) -> TrainedModel {
+        self.model
+    }
+
+    fn type_index(ty: NodeType) -> usize {
+        match ty {
+            NodeType::Time => 0,
+            NodeType::Location => 1,
+            NodeType::Word => 2,
+            NodeType::User => 3,
+        }
+    }
+
+    fn remember(&mut self, node: NodeId) {
+        let ty = Self::type_index(self.model.space().type_of(node));
+        // Bounded dedup-free reservoir: occasional duplicates only skew
+        // negatives toward frequent nodes, which is the degree-biased
+        // noise distribution anyway.
+        if self.seen[ty].len() < 65_536 {
+            self.seen[ty].push(node);
+        } else {
+            let i = self.rng.random_range(0..self.seen[ty].len());
+            self.seen[ty][i] = node;
+        }
+    }
+
+    fn assign(&mut self, record: &Record) -> StreamUnits {
+        let time = self.model.time_node(record.timestamp);
+        let location = self.model.location_node(record.location);
+        let mut words = Vec::with_capacity(record.keywords.len());
+        let n_word = self.model.space().n_word;
+        for &k in &record.keywords {
+            if k.0 < n_word {
+                words.push(self.model.word_node(k));
+            } else {
+                self.skipped_words += 1;
+            }
+        }
+        words.sort_unstable();
+        words.dedup();
+        let user = self.model.user_node(record.user);
+        StreamUnits {
+            time,
+            location,
+            words,
+            user,
+        }
+    }
+
+    /// Observes one record: assigns its units, applies SGD steps for its
+    /// intra-record (and author) pairs, replays a few buffered records,
+    /// and pushes it into the recency buffer.
+    pub fn observe(&mut self, record: &Record) {
+        let units = self.assign(record);
+        for node in std::iter::once(units.time)
+            .chain([units.location])
+            .chain(units.words.iter().copied())
+            .chain(units.user)
+        {
+            self.remember(node);
+        }
+
+        for _ in 0..self.params.steps_per_record {
+            self.train_units_owned(&units);
+        }
+        for _ in 0..self.params.replay {
+            if self.buffer.is_empty() {
+                break;
+            }
+            let i = self.rng.random_range(0..self.buffer.len());
+            let replayed = self.buffer[i].clone();
+            self.train_units_owned(&replayed);
+        }
+
+        if self.buffer.len() == self.params.buffer {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(units);
+        self.observed += 1;
+    }
+
+    /// One pass of pair updates for a record's units.
+    fn train_units_owned(&mut self, units: &StreamUnits) {
+        let store = self.model.store();
+        // Borrow split: negatives need `seen` and `rng`, the updater needs
+        // `updater`; pull what we need into locals.
+        let seen = &self.seen;
+        let rng = &mut self.rng;
+        let upd = &mut self.updater;
+
+        let neg_of = |ty: NodeType, rng: &mut StdRng| -> Option<usize> {
+            let pool = &seen[Self::type_index(ty)];
+            pool.choose(rng).map(|n| n.idx())
+        };
+
+        // T ↔ L.
+        if let Some(n) = neg_of(NodeType::Location, rng) {
+            upd.step(store, units.time.idx(), units.location.idx(), rng, |_| n);
+        }
+        if let Some(n) = neg_of(NodeType::Time, rng) {
+            upd.step(store, units.location.idx(), units.time.idx(), rng, |_| n);
+        }
+        if !units.words.is_empty() {
+            let bag: Vec<usize> = units.words.iter().map(|w| w.idx()).collect();
+            // bag → L, bag → T (footnote-4 style).
+            if let Some(n) = neg_of(NodeType::Location, rng) {
+                upd.step_bag(store, &bag, units.location.idx(), rng, |_| n);
+            }
+            if let Some(n) = neg_of(NodeType::Time, rng) {
+                upd.step_bag(store, &bag, units.time.idx(), rng, |_| n);
+            }
+            // One word pair.
+            if bag.len() >= 2 {
+                if let Some(n) = neg_of(NodeType::Word, rng) {
+                    let i = rng.random_range(0..bag.len());
+                    let mut j = rng.random_range(0..bag.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    upd.step(store, bag[i], bag[j], rng, |_| n);
+                }
+            }
+            // Author ↔ units (inter-record layer).
+            if let Some(user) = units.user {
+                if let Some(n) = neg_of(NodeType::Word, rng) {
+                    let w = *bag.choose(rng).expect("non-empty bag");
+                    upd.step(store, user.idx(), w, rng, |_| n);
+                }
+                if let Some(n) = neg_of(NodeType::Location, rng) {
+                    upd.step(store, user.idx(), units.location.idx(), rng, |_| n);
+                }
+                if let Some(n) = neg_of(NodeType::Time, rng) {
+                    upd.step(store, user.idx(), units.time.idx(), rng, |_| n);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ActorConfig;
+    use crate::pipeline::fit;
+    use embed::math::cosine;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, GeoPoint, SplitSpec};
+
+    fn fitted() -> (mobility::Corpus, CorpusSplit, TrainedModel) {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(80)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let (model, _) = fit(&corpus, &split.train, &ActorConfig::fast()).unwrap();
+        (corpus, split, model)
+    }
+
+    #[test]
+    fn observing_stream_updates_counters() {
+        let (corpus, split, model) = fitted();
+        let mut online = OnlineActor::new(model, OnlineParams::default());
+        for &rid in split.valid.iter() {
+            online.observe(corpus.record(rid));
+        }
+        assert_eq!(online.observed(), split.valid.len() as u64);
+        assert_eq!(online.skipped_words(), 0);
+    }
+
+    #[test]
+    fn stream_pulls_cooccurring_units_together() {
+        let (corpus, _, model) = fitted();
+        // A synthetic drift: the word "beach" suddenly co-occurs with a
+        // specific off-pattern time (3 am) and one location.
+        let v = corpus.vocab();
+        let Some(beach) = v.get("beach") else {
+            // The small 4sq preset keeps only 20 themes; beach is theme 0
+            // and always present.
+            panic!("beach missing");
+        };
+        let target_second = 3.0 * 3600.0;
+        let loc = GeoPoint::new(40.7, -73.9);
+        let before = {
+            let t = model.time_of_day_node(target_second);
+            cosine(
+                model.vector(model.word_node(beach)),
+                model.vector(t),
+            )
+        };
+        let mut online = OnlineActor::new(
+            model,
+            OnlineParams {
+                steps_per_record: 4,
+                replay: 0,
+                ..OnlineParams::default()
+            },
+        );
+        for i in 0..800 {
+            let rec = Record {
+                id: mobility::RecordId(i),
+                user: mobility::UserId(0),
+                timestamp: mobility::synth::EPOCH_BASE + (target_second as i64) + i as i64,
+                location: loc,
+                keywords: vec![beach],
+                mentions: vec![],
+            };
+            online.observe(&rec);
+        }
+        let model = online.into_model();
+        let t = model.time_of_day_node(target_second);
+        let after = cosine(model.vector(model.word_node(beach)), model.vector(t));
+        assert!(
+            after > before,
+            "streaming should align beach with 03:00: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let (corpus, split, model) = fitted();
+        let mut online = OnlineActor::new(
+            model,
+            OnlineParams {
+                buffer: 16,
+                ..OnlineParams::default()
+            },
+        );
+        for &rid in split.valid.iter().chain(split.test.iter()) {
+            online.observe(corpus.record(rid));
+        }
+        assert!(online.buffer.len() <= 16);
+    }
+
+    #[test]
+    fn vectors_stay_finite_under_streaming() {
+        let (corpus, split, model) = fitted();
+        let mut online = OnlineActor::new(model, OnlineParams::default());
+        for &rid in split.test.iter() {
+            online.observe(corpus.record(rid));
+        }
+        let model = online.into_model();
+        for i in (0..model.space().len()).step_by(31) {
+            assert!(model.store().centers.row(i).iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Trained-model persistence.
+//!
+//! A [`TrainedModel`] mixes large dense matrices (saved as raw
+//! little-endian bytes via [`embed::Matrix::to_bytes`]) with small
+//! structured metadata (hotspot centers, vocabulary, configuration —
+//! saved as serde-serializable [`ModelMeta`]). The container format is a
+//! single buffer: a magic header, a length-prefixed JSON-agnostic
+//! metadata blob produced by the caller's serde format of choice, then
+//! the embedding-store bytes.
+//!
+//! The crate deliberately does not pick a serde wire format (none is in
+//! the approved dependency set); [`TrainedModel::to_parts`] and
+//! [`TrainedModel::from_saved_parts`] expose the split so callers can
+//! pair [`ModelMeta`] with any format, while
+//! [`TrainedModel::save_bincode_like`] / [`TrainedModel::load_bincode_like`] provide a
+//! self-contained binary envelope using `bytes` only.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use embed::EmbeddingStore;
+use hotspot::{MeanShiftParams, SpatialHotspots, TemporalHotspots};
+use mobility::{GeoPoint, Vocabulary};
+use serde::{Deserialize, Serialize};
+use stgraph::NodeSpace;
+
+use crate::config::ActorConfig;
+use crate::model::TrainedModel;
+
+/// Serializable metadata of a trained model (everything except the
+/// embedding matrices).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelMeta {
+    /// Node layout.
+    pub space: NodeSpace,
+    /// Spatial hotspot centers.
+    pub spatial_centers: Vec<GeoPoint>,
+    /// Temporal hotspot centers (seconds within the period).
+    pub temporal_centers: Vec<f64>,
+    /// Circular period of the temporal units, in seconds.
+    pub temporal_period: f64,
+    /// The vocabulary.
+    pub vocab: Vocabulary,
+    /// Training configuration.
+    pub config: ActorConfig,
+}
+
+/// Magic prefix of the self-contained envelope.
+const MAGIC: &[u8; 8] = b"ACTORST1";
+
+impl TrainedModel {
+    /// Splits the model into serializable metadata plus the store bytes.
+    pub fn to_parts(&self) -> (ModelMeta, Bytes) {
+        let meta = ModelMeta {
+            space: *self.space(),
+            spatial_centers: self.spatial_hotspots().centers().to_vec(),
+            temporal_centers: self.temporal_hotspots().centers().to_vec(),
+            temporal_period: self.temporal_hotspots().period(),
+            vocab: self.vocab().clone(),
+            config: self.config().clone(),
+        };
+        (meta, self.store().to_bytes())
+    }
+
+    /// Rebuilds a model from [`TrainedModel::to_parts`] output.
+    ///
+    /// Hotspot assignment indices are reconstructed from the saved
+    /// centers (detection is not re-run; counts are not preserved, they
+    /// are irrelevant to inference).
+    pub fn from_saved_parts(meta: ModelMeta, store_bytes: Bytes) -> Result<Self, String> {
+        let store = EmbeddingStore::from_bytes(store_bytes)?;
+        if store.n_nodes() != meta.space.len() {
+            return Err(format!(
+                "store has {} rows but node space expects {}",
+                store.n_nodes(),
+                meta.space.len()
+            ));
+        }
+        if meta.spatial_centers.is_empty() || meta.temporal_centers.is_empty() {
+            return Err("saved model must have at least one hotspot per modality".into());
+        }
+        if meta.spatial_centers.len() != meta.space.n_location as usize
+            || meta.temporal_centers.len() != meta.space.n_time as usize
+        {
+            return Err("hotspot counts disagree with the node space".into());
+        }
+        let spatial = SpatialHotspots::from_centers(
+            &meta.spatial_centers,
+            MeanShiftParams::with_bandwidth(meta.config.spatial_bandwidth),
+        );
+        let temporal = TemporalHotspots::from_centers_with_period(
+            &meta.temporal_centers,
+            meta.temporal_period,
+        );
+        Ok(TrainedModel::from_parts(
+            store,
+            meta.space,
+            spatial,
+            temporal,
+            meta.vocab,
+            meta.config,
+        ))
+    }
+
+    /// Serializes the whole model into one self-contained binary buffer.
+    ///
+    /// Metadata is encoded with a minimal internal binary encoding (no
+    /// external format crate); see [`TrainedModel::load_bincode_like`].
+    pub fn save_bincode_like(&self) -> Bytes {
+        let (meta, store) = self.to_parts();
+        let meta_bytes = encode_meta(&meta);
+        let mut buf = BytesMut::with_capacity(16 + meta_bytes.len() + store.len());
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(meta_bytes.len() as u64);
+        buf.put_slice(&meta_bytes);
+        buf.put_slice(&store);
+        buf.freeze()
+    }
+
+    /// Loads a model saved by [`TrainedModel::save_bincode_like`].
+    pub fn load_bincode_like(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.len() < 16 || &bytes[..8] != MAGIC {
+            return Err("not an ACTORST1 model buffer".into());
+        }
+        bytes.advance(8);
+        let meta_len = bytes.get_u64_le() as usize;
+        if bytes.len() < meta_len {
+            return Err("metadata truncated".into());
+        }
+        let meta_bytes = bytes.split_to(meta_len);
+        let meta = decode_meta(meta_bytes)?;
+        Self::from_saved_parts(meta, bytes)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &mut Bytes) -> Result<String, String> {
+    if bytes.len() < 4 {
+        return Err("string header truncated".into());
+    }
+    let len = bytes.get_u32_le() as usize;
+    if bytes.len() < len {
+        return Err("string body truncated".into());
+    }
+    let raw = bytes.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|e| e.to_string())
+}
+
+fn encode_meta(meta: &ModelMeta) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(meta.space.n_time);
+    buf.put_u32_le(meta.space.n_location);
+    buf.put_u32_le(meta.space.n_word);
+    buf.put_u32_le(meta.space.n_user);
+
+    buf.put_u64_le(meta.spatial_centers.len() as u64);
+    for c in &meta.spatial_centers {
+        buf.put_f64_le(c.lat);
+        buf.put_f64_le(c.lon);
+    }
+    buf.put_u64_le(meta.temporal_centers.len() as u64);
+    for &t in &meta.temporal_centers {
+        buf.put_f64_le(t);
+    }
+    buf.put_f64_le(meta.temporal_period);
+
+    buf.put_u64_le(meta.vocab.len() as u64);
+    for (_, word, count) in meta.vocab.iter() {
+        put_str(&mut buf, word);
+        buf.put_u64_le(count);
+    }
+
+    // Config: the fields inference needs.
+    let c = &meta.config;
+    buf.put_u64_le(c.dim as u64);
+    buf.put_f32_le(c.learning_rate);
+    buf.put_u64_le(c.negatives as u64);
+    buf.put_f64_le(c.spatial_bandwidth);
+    buf.put_f64_le(c.temporal_bandwidth);
+    buf.put_u64_le(c.seed);
+    buf.freeze()
+}
+
+fn decode_meta(mut bytes: Bytes) -> Result<ModelMeta, String> {
+    let need = |bytes: &Bytes, n: usize| -> Result<(), String> {
+        if bytes.len() < n {
+            Err("metadata truncated".into())
+        } else {
+            Ok(())
+        }
+    };
+    need(&bytes, 16)?;
+    let space = NodeSpace {
+        n_time: bytes.get_u32_le(),
+        n_location: bytes.get_u32_le(),
+        n_word: bytes.get_u32_le(),
+        n_user: bytes.get_u32_le(),
+    };
+    need(&bytes, 8)?;
+    let n_spatial = bytes.get_u64_le() as usize;
+    need(&bytes, n_spatial * 16)?;
+    let spatial_centers = (0..n_spatial)
+        .map(|_| GeoPoint::new(bytes.get_f64_le(), bytes.get_f64_le()))
+        .collect();
+    need(&bytes, 8)?;
+    let n_temporal = bytes.get_u64_le() as usize;
+    need(&bytes, n_temporal * 8)?;
+    let temporal_centers = (0..n_temporal).map(|_| bytes.get_f64_le()).collect();
+    need(&bytes, 8)?;
+    let temporal_period = bytes.get_f64_le();
+
+    need(&bytes, 8)?;
+    let n_words = bytes.get_u64_le() as usize;
+    let mut vocab = Vocabulary::new();
+    for _ in 0..n_words {
+        let word = get_str(&mut bytes)?;
+        need(&bytes, 8)?;
+        let count = bytes.get_u64_le();
+        let id = vocab
+            .intern(&word)
+            .ok_or_else(|| format!("saved vocabulary contains invalid word {word:?}"))?;
+        // intern set count to 1; restore the saved count.
+        for _ in 1..count {
+            vocab.bump(id);
+        }
+    }
+
+    need(&bytes, 8 + 4 + 8 + 8 + 8 + 8)?;
+    let config = ActorConfig {
+        dim: bytes.get_u64_le() as usize,
+        learning_rate: bytes.get_f32_le(),
+        negatives: bytes.get_u64_le() as usize,
+        spatial_bandwidth: bytes.get_f64_le(),
+        temporal_bandwidth: bytes.get_f64_le(),
+        seed: bytes.get_u64_le(),
+        ..ActorConfig::default()
+    };
+
+    Ok(ModelMeta {
+        space,
+        spatial_centers,
+        temporal_centers,
+        temporal_period,
+        vocab,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::fit;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, SplitSpec};
+
+    fn model() -> TrainedModel {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(50)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        fit(&corpus, &split.train, &ActorConfig::fast()).unwrap().0
+    }
+
+    #[test]
+    fn envelope_round_trip_preserves_inference() {
+        let m = model();
+        let buf = m.save_bincode_like();
+        let loaded = TrainedModel::load_bincode_like(buf).unwrap();
+
+        assert_eq!(loaded.space(), m.space());
+        assert_eq!(loaded.vocab().len(), m.vocab().len());
+        // Same vectors.
+        for i in (0..m.space().len()).step_by(41) {
+            assert_eq!(loaded.store().centers.row(i), m.store().centers.row(i));
+        }
+        // Same hotspot assignment behaviour.
+        let p = mobility::GeoPoint::new(40.7, -73.95);
+        assert_eq!(loaded.location_node(p), m.location_node(p));
+        assert_eq!(
+            loaded.time_of_day_node(7_000.0),
+            m.time_of_day_node(7_000.0)
+        );
+        // Same query results.
+        let kw = m.vocab().get("coffee");
+        if let Some(kw) = kw {
+            let q = m.vector(m.word_node(kw)).to_vec();
+            assert_eq!(
+                m.nearest_words(&q, 5),
+                loaded.nearest_words(&q, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn vocabulary_counts_survive() {
+        let m = model();
+        let buf = m.save_bincode_like();
+        let loaded = TrainedModel::load_bincode_like(buf).unwrap();
+        for (id, word, count) in m.vocab().iter() {
+            let lid = loaded.vocab().get(word).expect("word survives");
+            assert_eq!(lid, id, "ids must be stable for node lookups");
+            assert_eq!(loaded.vocab().count(lid), count);
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_truncation() {
+        let m = model();
+        let buf = m.save_bincode_like();
+        assert!(TrainedModel::load_bincode_like(Bytes::from_static(b"nope")).is_err());
+        assert!(TrainedModel::load_bincode_like(buf.slice(0..20)).is_err());
+        let mut wrong_magic = buf.to_vec();
+        wrong_magic[0] = b'X';
+        assert!(TrainedModel::load_bincode_like(Bytes::from(wrong_magic)).is_err());
+    }
+
+    #[test]
+    fn parts_reject_mismatched_store() {
+        let m = model();
+        let (meta, _) = m.to_parts();
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+        let wrong = EmbeddingStore::init(3, 4, &mut rng);
+        assert!(TrainedModel::from_saved_parts(meta, wrong.to_bytes()).is_err());
+    }
+}

@@ -1,0 +1,551 @@
+//! The end-to-end ACTOR fitting pipeline (Algorithm 1).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use embed::hogwild;
+use embed::{EmbeddingStore, LineOrder, LineParams, LineTrainer, NegativeSamplingUpdate};
+use hotspot::{MeanShiftParams, SpatialHotspots, TemporalHotspots};
+use mobility::{Corpus, GeoPoint, RecordId};
+use rand::seq::IndexedRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use stgraph::build::RecordUnits;
+use stgraph::{
+    ActivityGraph, ActivityGraphBuilder, BuildOptions, EdgeSampler, EdgeType, NegativeTable,
+    NodeType, UserGraph,
+};
+
+use crate::config::ActorConfig;
+use crate::model::TrainedModel;
+
+/// Diagnostics emitted by [`fit`].
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Detected spatial hotspots.
+    pub n_spatial: usize,
+    /// Detected temporal hotspots.
+    pub n_temporal: usize,
+    /// Activity graph vertices.
+    pub n_nodes: usize,
+    /// Activity graph edges.
+    pub n_edges: usize,
+    /// User interaction graph edges.
+    pub n_user_edges: usize,
+    /// Whether the user layer was pre-trained (line 3 ran).
+    pub pretrained: bool,
+    /// Wall-clock seconds spent in the SGD loop (lines 5–11).
+    pub train_seconds: f64,
+    /// Mean per-update loss in 20 progress buckets across training
+    /// (negative log-likelihood of Eq. 7); a decreasing curve is the
+    /// convergence diagnostic.
+    pub loss_trace: Vec<f64>,
+    /// Total wall-clock seconds of the whole fit.
+    pub total_seconds: f64,
+}
+
+/// Fits ACTOR on the training split of `corpus`.
+pub fn fit(
+    corpus: &Corpus,
+    train_ids: &[RecordId],
+    config: &ActorConfig,
+) -> Result<(TrainedModel, FitReport), String> {
+    config.validate()?;
+    if train_ids.is_empty() {
+        return Err("training split is empty".into());
+    }
+    let t_start = Instant::now();
+
+    // Line 1: hotspot detection.
+    let points: Vec<GeoPoint> = train_ids
+        .iter()
+        .map(|&id| corpus.record(id).location)
+        .collect();
+    let seconds: Vec<f64> = train_ids
+        .iter()
+        .map(|&id| (corpus.record(id).timestamp as f64).rem_euclid(config.temporal_period))
+        .collect();
+    let spatial = SpatialHotspots::detect(
+        &points,
+        MeanShiftParams::with_bandwidth(config.spatial_bandwidth),
+        config.min_hotspot_support,
+    );
+    let temporal = TemporalHotspots::detect_with_period(
+        &seconds,
+        config.temporal_period,
+        MeanShiftParams::with_bandwidth(config.temporal_bandwidth),
+        config.min_hotspot_support,
+    );
+
+    // Line 2: graph construction.
+    let builder = ActivityGraphBuilder::new(
+        corpus,
+        &spatial,
+        &temporal,
+        BuildOptions {
+            include_users: true,
+            include_mentioned_users: config.include_mentioned_users,
+        },
+    );
+    let (graph, units) = builder.build(train_ids);
+    let user_graph = UserGraph::build(corpus, train_ids);
+    let space = *graph.space();
+
+    // Line 3: pre-train the user layer with LINE (second order).
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut store = EmbeddingStore::init(space.len(), config.dim, &mut rng);
+    let mut pretrained = false;
+    if config.use_inter && !user_graph.is_empty() {
+        let edges: Vec<(u32, u32, f64)> = user_graph
+            .edges()
+            .iter()
+            .map(|&(a, b, w)| (a.0, b.0, w))
+            .collect();
+        if let Some(line) = LineTrainer::new(user_graph.n_users() as usize, &edges) {
+            // Cap pre-training at ~100 samples per user edge: skip-gram
+            // norms grow with oversampling, and outsized user vectors
+            // would dominate the line-4 initialization of every unit.
+            let samples = config
+                .pretrain_samples
+                .min(100 * user_graph.n_edges() as u64);
+            let user_store = line.train(LineParams {
+                dim: config.dim,
+                samples,
+                threads: config.threads,
+                sgd: config.sgd(),
+                order: LineOrder::Second,
+                seed: config.seed ^ 0x11E,
+            });
+            pretrained = true;
+
+            // Copy user embeddings into the joint store (users keep their
+            // pre-trained vectors; isolated users keep random init — the
+            // "random vector" rule of §5.2.1).
+            let user_off = space.offset(NodeType::User) as usize;
+            for u in user_graph.connected_users() {
+                store
+                    .centers
+                    .set_row(user_off + u.idx(), user_store.centers.row(u.idx()));
+                store
+                    .contexts
+                    .set_row(user_off + u.idx(), user_store.contexts.row(u.idx()));
+            }
+
+            // Line 4: initialize each unit's *center* from its strongest
+            // user, keeping the unit's own small noise so
+            // identical-initialized units remain distinguishable. Contexts
+            // stay zero (the word2vec convention) — seeding them too would
+            // plant a large shared component that the annealed learning
+            // rate never fully washes out.
+            if config.init_scale != 0.0 {
+                for ty in [NodeType::Time, NodeType::Location, NodeType::Word] {
+                    for node in space.nodes_of(ty) {
+                        if let Some(user_node) = graph.strongest_user_of(node) {
+                            let user_center = store.centers.row(user_node.idx()).to_vec();
+                            let row = store.centers.row_mut(node.idx());
+                            for (x, &u) in row.iter_mut().zip(&user_center) {
+                                *x += config.init_scale * u;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Samplers for lines 5–11.
+    let mut edge_samplers: HashMap<EdgeType, EdgeSampler> = HashMap::new();
+    let mut neg_tables: HashMap<(EdgeType, NodeType), NegativeTable> = HashMap::new();
+    for ty in EdgeType::ALL {
+        if let Some(s) = EdgeSampler::new(&graph, ty) {
+            edge_samplers.insert(ty, s);
+        }
+        let (a, b) = ty.endpoints();
+        for side in [a, b] {
+            if let Some(t) = NegativeTable::with_power(&graph, ty, side, config.negative_power) {
+                neg_tables.insert((ty, side), t);
+            }
+        }
+    }
+
+    let t_train = Instant::now();
+    let loss_trace = train_loop(
+        &store,
+        &graph,
+        &units,
+        &edge_samplers,
+        &neg_tables,
+        config,
+    );
+    let train_seconds = t_train.elapsed().as_secs_f64();
+
+    let report = FitReport {
+        n_spatial: spatial.len(),
+        n_temporal: temporal.len(),
+        n_nodes: graph.n_nodes(),
+        n_edges: graph.n_edges(),
+        n_user_edges: user_graph.n_edges(),
+        pretrained,
+        train_seconds,
+        loss_trace,
+        total_seconds: t_start.elapsed().as_secs_f64(),
+    };
+    let model = TrainedModel {
+        store,
+        space,
+        spatial,
+        temporal,
+        vocab: corpus.vocab().clone(),
+        config: config.clone(),
+    };
+    Ok((model, report))
+}
+
+/// Lines 5–11: alternate inter-record and intra-record mini-batches.
+///
+/// Per-type batch sizes follow each type's share of the total edge weight:
+/// Eq. 6 sums the *weighted* objectives `J_e = -Σ a_ij log p`, so a type
+/// holding 40 % of the co-occurrence mass receives 40 % of the samples
+/// (Algorithm 1's fixed `m` per type is read as the inner-loop batch
+/// mechanism, not as an equal-weight prior over edge types).
+///
+/// Work is split as `max_epochs × batches_per_type` rounds distributed
+/// over Hogwild threads, so the total sample budget is independent of the
+/// thread count (required by the weak-scaling experiment, Fig. 12c).
+fn train_loop(
+    store: &EmbeddingStore,
+    graph: &ActivityGraph,
+    units: &[RecordUnits],
+    edge_samplers: &HashMap<EdgeType, EdgeSampler>,
+    neg_tables: &HashMap<(EdgeType, NodeType), NegativeTable>,
+    config: &ActorConfig,
+) -> Vec<f64> {
+    const TRACE_BUCKETS: usize = 20;
+    // (loss sum, update count) per progress bucket, merged across threads.
+    let trace = parking_lot::Mutex::new(vec![(0.0f64, 0u64); TRACE_BUCKETS]);
+    let rounds = (config.max_epochs * config.batches_per_type) as u64;
+    let m = config.batch_size;
+
+    // Weight shares over the trained edge types (Eq. 6's implicit mix).
+    let type_weight = |ty: EdgeType| -> f64 {
+        graph.edges(ty).map_or(0.0, |te| te.total_weight())
+    };
+    let inter_w: f64 = if config.use_inter {
+        EdgeType::INTER.iter().map(|&t| type_weight(t)).sum()
+    } else {
+        0.0
+    };
+    let intra_w: f64 = EdgeType::INTRA.iter().map(|&t| type_weight(t)).sum();
+    let total_w = (inter_w + intra_w).max(1e-12);
+    // Round budget: 7m weighted samples, as if all seven types ran an
+    // m-sized batch. Each bag draw performs ~7 pair updates, so the
+    // record-sample count is scaled down accordingly.
+    let round_budget = 7.0 * m as f64;
+    let inter_batches: Vec<(EdgeType, usize)> = EdgeType::INTER
+        .iter()
+        .map(|&t| {
+            let share = if config.use_inter { type_weight(t) / total_w } else { 0.0 };
+            (t, (round_budget * share).round() as usize)
+        })
+        .collect();
+    let intra_share = intra_w / total_w;
+    const BAG_UPDATES_PER_DRAW: f64 = 7.0;
+    let bag_draws = (round_budget * intra_share / BAG_UPDATES_PER_DRAW).round() as usize;
+    let intra_batches: Vec<(EdgeType, usize)> = EdgeType::INTRA
+        .iter()
+        .map(|&t| (t, (round_budget * type_weight(t) / total_w).round() as usize))
+        .collect();
+
+    hogwild::run(config.threads, rounds, config.seed ^ 0xAC7, |_, rng, n| {
+        let mut upd = NegativeSamplingUpdate::new(config.dim, config.sgd());
+        let lr0 = config.learning_rate;
+        let mut local = vec![(0.0f64, 0u64); TRACE_BUCKETS];
+        for round in 0..n {
+            // Linear annealing to 10% of η over the round budget.
+            if config.anneal && n > 0 {
+                let progress = round as f32 / n as f32;
+                upd.set_learning_rate(lr0 * (1.0 - 0.9 * progress));
+            }
+            let bucket = ((round as usize * TRACE_BUCKETS) / n.max(1) as usize)
+                .min(TRACE_BUCKETS - 1);
+            let mut round_loss = 0.0f64;
+            let mut round_updates = 0u64;
+            // Inter-record meta-graph batches (line 6–8).
+            if config.use_inter {
+                for &(ty, count) in &inter_batches {
+                    if let Some(sampler) = edge_samplers.get(&ty) {
+                        for _ in 0..count {
+                            round_loss +=
+                                train_edge(store, sampler, ty, neg_tables, &mut upd, rng);
+                            round_updates += 1;
+                        }
+                    }
+                }
+            }
+            // Intra-record meta-graph batches (line 9–11).
+            if config.use_intra_bag {
+                for _ in 0..bag_draws {
+                    let (l, u) = train_record_bag(store, units, neg_tables, &mut upd, rng);
+                    round_loss += l;
+                    round_updates += u;
+                }
+            } else {
+                for &(ty, count) in &intra_batches {
+                    if let Some(sampler) = edge_samplers.get(&ty) {
+                        for _ in 0..count {
+                            round_loss +=
+                                train_edge(store, sampler, ty, neg_tables, &mut upd, rng);
+                            round_updates += 1;
+                        }
+                    }
+                }
+            }
+            local[bucket].0 += round_loss;
+            local[bucket].1 += round_updates;
+        }
+        let mut merged = trace.lock();
+        for (m, l) in merged.iter_mut().zip(&local) {
+            m.0 += l.0;
+            m.1 += l.1;
+        }
+    });
+    trace
+        .into_inner()
+        .into_iter()
+        .map(|(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 })
+        .collect()
+}
+
+/// One plain edge update with a random direction flip; returns the loss.
+fn train_edge(
+    store: &EmbeddingStore,
+    sampler: &EdgeSampler,
+    ty: EdgeType,
+    neg_tables: &HashMap<(EdgeType, NodeType), NegativeTable>,
+    upd: &mut NegativeSamplingUpdate,
+    rng: &mut StdRng,
+) -> f64 {
+    let (mut a, mut b) = sampler.sample(rng);
+    let (ta, tb) = ty.endpoints();
+    let mut ctx_side = tb;
+    if ta != tb && rng.random::<bool>() {
+        std::mem::swap(&mut a, &mut b);
+        ctx_side = ta;
+    }
+    if let Some(neg) = neg_tables.get(&(ty, ctx_side)) {
+        upd.step(store, a.idx(), b.idx(), rng, |r| neg.sample(r).idx())
+    } else {
+        0.0
+    }
+}
+
+/// One intra-record update with the bag-of-words textual representation
+/// (footnote 4): sample a record, then train its T–L pair, its bag→L and
+/// bag→T alignments (plus reverse word-context updates), and W–W pairs.
+/// Returns `(loss sum, update count)`.
+fn train_record_bag(
+    store: &EmbeddingStore,
+    units: &[RecordUnits],
+    neg_tables: &HashMap<(EdgeType, NodeType), NegativeTable>,
+    upd: &mut NegativeSamplingUpdate,
+    rng: &mut StdRng,
+) -> (f64, u64) {
+    let Some(rec) = units.choose(rng) else {
+        return (0.0, 0);
+    };
+    let bag: Vec<usize> = rec.words.iter().map(|w| w.idx()).collect();
+    let mut loss = 0.0f64;
+    let mut updates = 0u64;
+
+    // TL (both directions, random order).
+    if let Some(neg) = neg_tables.get(&(EdgeType::TL, NodeType::Location)) {
+        loss += upd.step(store, rec.time.idx(), rec.location.idx(), rng, |r| {
+            neg.sample(r).idx()
+        });
+        updates += 1;
+    }
+    if let Some(neg) = neg_tables.get(&(EdgeType::TL, NodeType::Time)) {
+        loss += upd.step(store, rec.location.idx(), rec.time.idx(), rng, |r| {
+            neg.sample(r).idx()
+        });
+        updates += 1;
+    }
+
+    if !bag.is_empty() {
+        // LW: bag → location, location → one word.
+        if let Some(neg) = neg_tables.get(&(EdgeType::LW, NodeType::Location)) {
+            loss += upd.step_bag(store, &bag, rec.location.idx(), rng, |r| neg.sample(r).idx());
+            updates += 1;
+        }
+        if let Some(neg) = neg_tables.get(&(EdgeType::LW, NodeType::Word)) {
+            let w = *bag.choose(rng).expect("non-empty bag");
+            loss += upd.step(store, rec.location.idx(), w, rng, |r| neg.sample(r).idx());
+            updates += 1;
+        }
+        // WT: bag → time, time → one word.
+        if let Some(neg) = neg_tables.get(&(EdgeType::WT, NodeType::Time)) {
+            loss += upd.step_bag(store, &bag, rec.time.idx(), rng, |r| neg.sample(r).idx());
+            updates += 1;
+        }
+        if let Some(neg) = neg_tables.get(&(EdgeType::WT, NodeType::Word)) {
+            let w = *bag.choose(rng).expect("non-empty bag");
+            loss += upd.step(store, rec.time.idx(), w, rng, |r| neg.sample(r).idx());
+            updates += 1;
+        }
+        // WW: up to three random ordered pairs — the record's word-pair
+        // mass grows quadratically in its length, so a single pair would
+        // under-train the heaviest intra edge class.
+        if bag.len() >= 2 {
+            if let Some(neg) = neg_tables.get(&(EdgeType::WW, NodeType::Word)) {
+                let n_pairs = (bag.len() * (bag.len() - 1) / 2).min(3);
+                for _ in 0..n_pairs {
+                    let i = rng.random_range(0..bag.len());
+                    let mut j = rng.random_range(0..bag.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    loss += upd.step(store, bag[i], bag[j], rng, |r| neg.sample(r).idx());
+                    updates += 1;
+                }
+            }
+        }
+    }
+    (loss, updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embed::math::cosine;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::CorpusSplit;
+    use mobility::SplitSpec;
+
+    fn fit_small(seed: u64, tweak: impl FnOnce(&mut ActorConfig)) -> (TrainedModel, FitReport) {
+        let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(seed)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let mut config = ActorConfig::fast();
+        config.seed = seed;
+        tweak(&mut config);
+        fit(&corpus, &split.train, &config).unwrap()
+    }
+
+    #[test]
+    fn fit_produces_sane_report() {
+        let (model, report) = fit_small(1, |_| {});
+        assert!(report.n_spatial > 3, "{report:?}");
+        assert!(report.n_temporal >= 2, "{report:?}");
+        assert!(report.n_edges > 100);
+        assert!(report.n_user_edges > 0);
+        assert!(report.pretrained);
+        assert_eq!(model.space().n_word as usize, model.vocab().len());
+    }
+
+    #[test]
+    fn loss_trace_decreases() {
+        let (_, report) = fit_small(12, |c| {
+            c.max_epochs = 40;
+        });
+        assert_eq!(report.loss_trace.len(), 20);
+        assert!(report.loss_trace.iter().all(|&l| l.is_finite() && l >= 0.0));
+        // The mean loss over the last quarter must sit below the first
+        // quarter — SGD converges.
+        let first: f64 = report.loss_trace[..5].iter().sum::<f64>() / 5.0;
+        let last: f64 = report.loss_trace[15..].iter().sum::<f64>() / 5.0;
+        assert!(
+            last < first,
+            "loss should fall: first {first:.4} -> last {last:.4}"
+        );
+    }
+
+    #[test]
+    fn fit_rejects_empty_training_split() {
+        let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(2)).unwrap();
+        assert!(fit(&corpus, &[], &ActorConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn embeddings_are_finite_after_training() {
+        let (model, _) = fit_small(3, |_| {});
+        for i in 0..model.space().len() {
+            assert!(model
+                .store()
+                .centers
+                .row(i)
+                .iter()
+                .all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn cooccurring_units_align() {
+        // Words of the same theme should land closer together than words
+        // of different themes (they co-occur in records). Averaged over
+        // several pairs to be robust on the small test corpus.
+        let (model, _) = fit_small(4, |c| {
+            c.max_epochs = 60;
+        });
+        let v = model.vocab();
+        let pairs = [("beach", "surf"), ("bar", "cocktail"), ("coffee", "latte")];
+        let cross = [("beach", "cocktail"), ("bar", "latte"), ("coffee", "surf")];
+        let mean_cos = |words: &[(&str, &str)]| -> f64 {
+            let mut total = 0.0;
+            for (a, b) in words {
+                let (Some(a), Some(b)) = (v.get(a), v.get(b)) else {
+                    panic!("theme words missing from vocab");
+                };
+                total += cosine(
+                    model.vector(model.word_node(a)),
+                    model.vector(model.word_node(b)),
+                );
+            }
+            total / words.len() as f64
+        };
+        let same = mean_cos(&pairs);
+        let diff = mean_cos(&cross);
+        assert!(same > diff, "same-theme {same} vs cross-theme {diff}");
+    }
+
+    #[test]
+    fn ablation_variants_fit() {
+        let (_, r1) = fit_small(5, |c| c.use_inter = false);
+        assert!(!r1.pretrained);
+        let (_, r2) = fit_small(5, |c| c.use_intra_bag = false);
+        assert!(r2.pretrained);
+    }
+
+    #[test]
+    fn multithreaded_fit_works() {
+        let (model, _) = fit_small(6, |c| c.threads = 3);
+        assert!(model.vector(model.space().node(NodeType::Time, 0))[0].is_finite());
+    }
+
+    #[test]
+    fn weekly_temporal_period_is_supported() {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(13)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let mut config = ActorConfig::fast();
+        config.temporal_period = mobility::SECONDS_PER_WEEK as f64;
+        config.temporal_bandwidth = 3.0 * 3600.0;
+        let (model, report) = fit(&corpus, &split.train, &config).unwrap();
+        assert!(report.n_temporal >= 1);
+        assert_eq!(
+            model.temporal_hotspots().period(),
+            mobility::SECONDS_PER_WEEK as f64
+        );
+        // Timestamps a week apart map to the same weekly hotspot.
+        let t = corpus.records()[0].timestamp;
+        assert_eq!(
+            model.time_node(t),
+            model.time_node(t + mobility::SECONDS_PER_WEEK)
+        );
+    }
+
+    #[test]
+    fn mention_free_corpus_skips_pretraining() {
+        let (corpus, _) = generate(DatasetPreset::Tweet.small_config(7)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let (_, report) = fit(&corpus, &split.train, &ActorConfig::fast()).unwrap();
+        assert!(!report.pretrained);
+        assert_eq!(report.n_user_edges, 0);
+    }
+}

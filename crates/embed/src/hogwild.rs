@@ -1,0 +1,85 @@
+//! Scoped-thread Hogwild driver.
+//!
+//! Splits a sample budget across worker threads, each running the caller's
+//! closure with its own deterministic RNG stream. Used by LINE
+//! pre-training, the ACTOR trainer, and the scalability experiments of
+//! Fig. 12.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Runs `total_samples` of work across `n_threads` workers.
+///
+/// `work(thread_id, rng, n_samples)` processes its shard with a per-thread
+/// RNG seeded from `seed` and the thread id; shards differ by at most one
+/// sample. Single-threaded runs are exactly reproducible per seed;
+/// multi-threaded runs race benignly on the embedding matrices (by
+/// design — see the Hogwild contract in [`crate::store::Matrix`]).
+pub fn run<W>(n_threads: usize, total_samples: u64, seed: u64, work: W)
+where
+    W: Fn(usize, &mut StdRng, u64) + Sync,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    let base = total_samples / n_threads as u64;
+    let extra = (total_samples % n_threads as u64) as usize;
+    if n_threads == 1 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        work(0, &mut rng, total_samples);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        for t in 0..n_threads {
+            let work = &work;
+            let shard = base + u64::from(t < extra);
+            s.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+                    .wrapping_mul(t as u64 + 1)));
+                work(t, &mut rng, shard);
+            });
+        }
+    })
+    .expect("hogwild worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn shards_cover_total() {
+        let counter = AtomicU64::new(0);
+        run(4, 1003, 1, |_, _, n| {
+            counter.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1003);
+    }
+
+    #[test]
+    fn single_thread_gets_everything() {
+        let counter = AtomicU64::new(0);
+        run(1, 17, 2, |t, _, n| {
+            assert_eq!(t, 0);
+            counter.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn thread_rngs_differ() {
+        use rand::Rng;
+        let draws = std::sync::Mutex::new(Vec::new());
+        run(3, 3, 7, |_, rng, _| {
+            draws.lock().unwrap().push(rng.random::<u64>());
+        });
+        let d = draws.into_inner().unwrap();
+        assert_eq!(d.len(), 3);
+        assert_ne!(d[0], d[1]);
+        assert_ne!(d[1], d[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        run(0, 10, 0, |_, _, _| {});
+    }
+}

@@ -1,0 +1,31 @@
+//! Negative-sampling SGD embedding engine (paper §5.2.2–5.2.3).
+//!
+//! The ACTOR objective is optimized exactly as in LINE/word2vec: sample an
+//! edge, treat one endpoint as the *center* and the other as the
+//! *context*, push the center's vector toward the context's context-vector
+//! and away from `K` noise vectors (Eq. 7), with the closed-form gradients
+//! of Eqs. 8–10 and the asynchronous (Hogwild, \[45\]) update scheme of
+//! Eqs. 12–14.
+//!
+//! Crate layout:
+//!
+//! * [`math`] — f32 vector kernels (dot, cosine, axpy),
+//! * [`sigmoid`] — the precomputed σ lookup table word2vec uses,
+//! * [`store`] — center/context matrices with lock-free shared mutation
+//!   behind an explicit Hogwild contract,
+//! * [`sgd`] — the per-edge negative-sampling update,
+//! * [`hogwild`] — scoped-thread parallel driver,
+//! * [`mod@line`] — LINE (first/second order) for arbitrary weighted graphs:
+//!   the user-layer pre-trainer of Algorithm 1 line 3 and the LINE
+//!   baseline of Table 2.
+
+pub mod hogwild;
+pub mod line;
+pub mod math;
+pub mod sgd;
+pub mod sigmoid;
+pub mod store;
+
+pub use line::{LineOrder, LineParams, LineTrainer};
+pub use sgd::{NegativeSamplingUpdate, SgdParams};
+pub use store::{EmbeddingStore, Matrix};

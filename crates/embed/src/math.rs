@@ -1,0 +1,120 @@
+//! Dense f32 vector kernels.
+//!
+//! Embeddings are `f32` (halving memory traffic relative to `f64`, the
+//! dominant cost of SGD over large matrices); accumulations that feed
+//! decisions (cosine ranking) widen to `f64`.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in f64; 0 when either vector is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut ab, mut aa, mut bb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        ab += x as f64 * y as f64;
+        aa += x as f64 * x as f64;
+        bb += y as f64 * y as f64;
+    }
+    if aa == 0.0 || bb == 0.0 {
+        0.0
+    } else {
+        ab / (aa.sqrt() * bb.sqrt())
+    }
+}
+
+/// Sums `vectors` element-wise into a fresh vector; the bag-of-words
+/// representation of footnote 4. Returns zeros when `vectors` is empty.
+pub fn sum_of(vectors: &[&[f32]], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    for v in vectors {
+        axpy(1.0, v, &mut out);
+    }
+    out
+}
+
+/// Mean of `vectors`; zeros when empty.
+pub fn mean_of(vectors: &[&[f32]], dim: usize) -> Vec<f32> {
+    let mut out = sum_of(vectors, dim);
+    if !vectors.is_empty() {
+        let inv = 1.0 / vectors.len() as f32;
+        for x in &mut out {
+            *x *= inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0f32, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn cosine_basic_identities() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-9);
+        assert!(cosine(&a, &b).abs() < 1e-9);
+        let c = [-1.0f32, 0.0];
+        assert!((cosine(&a, &c) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [0.3f32, -0.7, 0.2];
+        let b = [1.5f32, 0.4, -0.9];
+        let a2: Vec<f32> = a.iter().map(|x| x * 10.0).collect();
+        assert!((cosine(&a, &b) - cosine(&a2, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        let v1 = [1.0f32, 2.0];
+        let v2 = [3.0f32, 4.0];
+        assert_eq!(sum_of(&[&v1, &v2], 2), vec![4.0, 6.0]);
+        assert_eq!(mean_of(&[&v1, &v2], 2), vec![2.0, 3.0]);
+        assert_eq!(sum_of(&[], 2), vec![0.0, 0.0]);
+        assert_eq!(mean_of(&[], 2), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,320 @@
+//! The per-edge negative-sampling SGD update (Eqs. 7–14).
+
+use rand::Rng;
+
+use crate::sigmoid::SigmoidTable;
+use crate::store::EmbeddingStore;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdParams {
+    /// Learning rate `η` (§5.2.3 treats sampled edge weights as equal and
+    /// folds them into the rate).
+    pub learning_rate: f32,
+    /// Number of negative samples `K` (Eq. 7).
+    pub negatives: usize,
+}
+
+impl Default for SgdParams {
+    fn default() -> Self {
+        // The paper's settings (§6.1.3): η = 0.02, K = 1.
+        Self {
+            learning_rate: 0.02,
+            negatives: 1,
+        }
+    }
+}
+
+/// Reusable update state (scratch gradient buffer + σ table), one per
+/// worker thread.
+#[derive(Debug, Clone)]
+pub struct NegativeSamplingUpdate {
+    sigmoid: SigmoidTable,
+    grad: Vec<f32>,
+    params: SgdParams,
+}
+
+impl NegativeSamplingUpdate {
+    /// Creates an updater for vectors of width `dim`.
+    pub fn new(dim: usize, params: SgdParams) -> Self {
+        Self {
+            sigmoid: SigmoidTable::new(),
+            grad: vec![0.0; dim],
+            params,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> SgdParams {
+        self.params
+    }
+
+    /// Overrides the learning rate (used by trainers that anneal η
+    /// linearly over the sample budget, as LINE does).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        debug_assert!(lr > 0.0);
+        self.params.learning_rate = lr;
+    }
+
+    /// Applies one stochastic step for the observed pair
+    /// (`center`, `context`), drawing negatives from `sample_negative`.
+    ///
+    /// Implements Eq. 7 with gradients Eqs. 8–10: the center row
+    /// accumulates `Σ g·x'` over the positive and all negatives (Eq. 8 /
+    /// Eq. 12) while each context row moves by `g·x` (Eqs. 9–10 / 13–14).
+    /// Returns the (approximate) loss contribution for monitoring.
+    ///
+    /// Races with other threads are accepted per the Hogwild contract of
+    /// [`crate::store::Matrix`].
+    pub fn step<R, F>(
+        &mut self,
+        store: &EmbeddingStore,
+        center: usize,
+        context: usize,
+        rng: &mut R,
+        mut sample_negative: F,
+    ) -> f64
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> usize,
+    {
+        let lr = self.params.learning_rate;
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut loss = 0.0f64;
+
+        // SAFETY: Hogwild contract — racy f32 rows, see store.rs.
+        let x_center = unsafe { store.centers.row_mut_racy(center) };
+
+        // Positive pair: label 1.
+        {
+            let x_ctx = unsafe { store.contexts.row_mut_racy(context) };
+            let score = crate::math::dot(x_center, x_ctx);
+            let sig = self.sigmoid.value(score);
+            let g = (1.0 - sig) * lr; // −∂J/∂score · η
+            loss -= (sig.max(1e-7) as f64).ln();
+            crate::math::axpy(g, x_ctx, &mut self.grad);
+            crate::math::axpy(g, x_center, x_ctx);
+        }
+
+        // Negative pairs: label 0.
+        for _ in 0..self.params.negatives {
+            let neg = sample_negative(rng);
+            if neg == context {
+                continue; // drawing the observed context teaches nothing
+            }
+            let x_neg = unsafe { store.contexts.row_mut_racy(neg) };
+            let score = crate::math::dot(x_center, x_neg);
+            let sig = self.sigmoid.value(score);
+            let g = -sig * lr;
+            loss -= ((1.0 - sig).max(1e-7) as f64).ln();
+            crate::math::axpy(g, x_neg, &mut self.grad);
+            crate::math::axpy(g, x_center, x_neg);
+        }
+
+        crate::math::axpy(1.0, &self.grad, x_center);
+        loss
+    }
+
+    /// Like [`NegativeSamplingUpdate::step`], but the *center* side is a
+    /// bag of vertices whose summed embedding represents the text
+    /// (footnote 4). The gradient w.r.t. the sum distributes to every
+    /// member of the bag.
+    pub fn step_bag<R, F>(
+        &mut self,
+        store: &EmbeddingStore,
+        bag: &[usize],
+        context: usize,
+        rng: &mut R,
+        mut sample_negative: F,
+    ) -> f64
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> usize,
+    {
+        if bag.is_empty() {
+            return 0.0;
+        }
+        let dim = store.dim();
+        let lr = self.params.learning_rate;
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut loss = 0.0f64;
+
+        // Materialize the bag sum (reads are racy-but-benign).
+        let mut x_sum = vec![0.0f32; dim];
+        for &b in bag {
+            crate::math::axpy(1.0, store.centers.row(b), &mut x_sum);
+        }
+
+        {
+            let x_ctx = unsafe { store.contexts.row_mut_racy(context) };
+            let score = crate::math::dot(&x_sum, x_ctx);
+            let sig = self.sigmoid.value(score);
+            let g = (1.0 - sig) * lr;
+            loss -= (sig.max(1e-7) as f64).ln();
+            crate::math::axpy(g, x_ctx, &mut self.grad);
+            crate::math::axpy(g, &x_sum, x_ctx);
+        }
+        for _ in 0..self.params.negatives {
+            let neg = sample_negative(rng);
+            if neg == context {
+                continue;
+            }
+            let x_neg = unsafe { store.contexts.row_mut_racy(neg) };
+            let score = crate::math::dot(&x_sum, x_neg);
+            let sig = self.sigmoid.value(score);
+            let g = -sig * lr;
+            loss -= ((1.0 - sig).max(1e-7) as f64).ln();
+            crate::math::axpy(g, x_neg, &mut self.grad);
+            crate::math::axpy(g, &x_sum, x_neg);
+        }
+
+        for &b in bag {
+            let row = unsafe { store.centers.row_mut_racy(b) };
+            crate::math::axpy(1.0, &self.grad, row);
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::dot;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn store(dim: usize) -> EmbeddingStore {
+        let mut rng = StdRng::seed_from_u64(7);
+        EmbeddingStore::init(6, dim, &mut rng)
+    }
+
+    #[test]
+    fn positive_pair_score_increases() {
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 0.1,
+                negatives: 2,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = dot(s.centers.row(0), s.contexts.row(1));
+        for _ in 0..50 {
+            upd.step(&s, 0, 1, &mut rng, |r| r.random_range(2..6));
+        }
+        let after = dot(s.centers.row(0), s.contexts.row(1));
+        assert!(after > before, "{before} -> {after}");
+        assert!(after > 0.5, "score should grow decisively, got {after}");
+    }
+
+    #[test]
+    fn negative_scores_decrease() {
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 0.1,
+                negatives: 1,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            upd.step(&s, 0, 1, &mut rng, |_| 2usize);
+        }
+        let pos = dot(s.centers.row(0), s.contexts.row(1));
+        let neg = dot(s.centers.row(0), s.contexts.row(2));
+        assert!(pos > 0.0 && neg < 0.0, "pos {pos} neg {neg}");
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(8, SgdParams::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let first: f64 = (0..20)
+            .map(|_| upd.step(&s, 0, 1, &mut rng, |r| r.random_range(2..6)))
+            .sum();
+        for _ in 0..500 {
+            upd.step(&s, 0, 1, &mut rng, |r| r.random_range(2..6));
+        }
+        let last: f64 = (0..20)
+            .map(|_| upd.step(&s, 0, 1, &mut rng, |r| r.random_range(2..6)))
+            .sum();
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn negative_equal_to_context_is_skipped() {
+        let s = store(4);
+        let mut upd = NegativeSamplingUpdate::new(
+            4,
+            SgdParams {
+                learning_rate: 0.1,
+                negatives: 1,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        // Sampling the context itself as negative must not cancel learning.
+        for _ in 0..100 {
+            upd.step(&s, 0, 1, &mut rng, |_| 1usize);
+        }
+        assert!(dot(s.centers.row(0), s.contexts.row(1)) > 0.5);
+    }
+
+    #[test]
+    fn bag_update_moves_all_members() {
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 0.1,
+                negatives: 1,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let before: Vec<Vec<f32>> = (0..3).map(|i| s.centers.row(i).to_vec()).collect();
+        for _ in 0..50 {
+            upd.step_bag(&s, &[0, 1, 2], 3, &mut rng, |r| r.random_range(4..6));
+        }
+        for (i, prev) in before.iter().enumerate() {
+            assert_ne!(s.centers.row(i), prev.as_slice(), "member {i} unmoved");
+        }
+        // The bag sum aligns with the context.
+        let mut sum = vec![0.0f32; 8];
+        for i in 0..3 {
+            crate::math::axpy(1.0, s.centers.row(i), &mut sum);
+        }
+        assert!(dot(&sum, s.contexts.row(3)) > 0.5);
+    }
+
+    #[test]
+    fn empty_bag_is_noop() {
+        let s = store(4);
+        let mut upd = NegativeSamplingUpdate::new(4, SgdParams::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let loss = upd.step_bag(&s, &[], 1, &mut rng, |_| 0usize);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn vectors_stay_finite() {
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 0.5, // aggressive
+                negatives: 3,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        for step in 0..2000 {
+            let c = step % 4;
+            let ctx = 4 + (step % 2);
+            upd.step(&s, c, ctx, &mut rng, |r| r.random_range(0..6));
+        }
+        for i in 0..6 {
+            assert!(s.centers.row(i).iter().all(|x| x.is_finite()));
+            assert!(s.contexts.row(i).iter().all(|x| x.is_finite()));
+        }
+    }
+}

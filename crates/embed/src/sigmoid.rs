@@ -1,0 +1,100 @@
+//! Precomputed sigmoid lookup table.
+//!
+//! Training evaluates σ(x) once per (edge, negative) pair — hundreds of
+//! millions of times per run. A 1024-entry table over `[-6, 6]` (the
+//! word2vec trick) replaces `exp` with one multiply and one load; outside
+//! the range σ saturates to 0/1, which also caps gradients.
+
+/// Table resolution.
+const TABLE_SIZE: usize = 1024;
+/// Clamp bound.
+const MAX_X: f32 = 6.0;
+
+/// The lookup table, built once.
+#[derive(Debug, Clone)]
+pub struct SigmoidTable {
+    table: Vec<f32>,
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SigmoidTable {
+    /// Builds the table.
+    pub fn new() -> Self {
+        let table = (0..TABLE_SIZE)
+            .map(|i| {
+                let x = (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_X;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        Self { table }
+    }
+
+    /// σ(x), clamped to the table bounds.
+    #[inline]
+    pub fn value(&self, x: f32) -> f32 {
+        if x >= MAX_X {
+            1.0
+        } else if x <= -MAX_X {
+            0.0
+        } else {
+            let idx = ((x + MAX_X) / (2.0 * MAX_X) * TABLE_SIZE as f32) as usize;
+            self.table[idx.min(TABLE_SIZE - 1)]
+        }
+    }
+}
+
+/// Exact sigmoid, used in tests and non-hot paths.
+#[inline]
+pub fn sigmoid_exact(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_within_table_resolution() {
+        let t = SigmoidTable::new();
+        let mut x = -5.9f32;
+        while x < 5.9 {
+            let got = t.value(x) as f64;
+            let want = sigmoid_exact(x as f64);
+            assert!((got - want).abs() < 0.01, "x={x}: {got} vs {want}");
+            x += 0.037;
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let t = SigmoidTable::new();
+        assert_eq!(t.value(100.0), 1.0);
+        assert_eq!(t.value(-100.0), 0.0);
+        assert_eq!(t.value(6.0), 1.0);
+        assert_eq!(t.value(-6.0), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_half() {
+        let t = SigmoidTable::new();
+        assert!((t.value(0.0) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn monotone() {
+        let t = SigmoidTable::new();
+        let mut prev = t.value(-6.0);
+        let mut x = -5.9f32;
+        while x <= 6.0 {
+            let v = t.value(x);
+            assert!(v + 1e-6 >= prev, "not monotone at {x}");
+            prev = v;
+            x += 0.1;
+        }
+    }
+}

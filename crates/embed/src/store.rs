@@ -1,0 +1,322 @@
+//! Center/context embedding matrices with Hogwild-style shared mutation.
+//!
+//! The paper optimizes with asynchronous SGD \[45\]: worker threads update
+//! shared parameter rows *without locks*, accepting benign races because
+//! individual updates are sparse and small. In Rust this is expressed by a
+//! [`Matrix`] whose storage sits in an `UnsafeCell` with a manual `Sync`
+//! impl; mutation goes through [`Matrix::row_mut_racy`], whose contract is
+//! documented below.
+
+use std::cell::UnsafeCell;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rand::Rng;
+
+/// A dense row-major `n × dim` f32 matrix supporting racy shared writes.
+///
+/// # Hogwild safety contract
+///
+/// `row_mut_racy` hands out `&mut [f32]` aliasing other threads' views.
+/// This is sound *in practice* under the Hogwild conditions (sparse,
+/// bounded updates; torn f32 reads never propagate beyond one SGD step and
+/// cannot cause memory unsafety because `f32` is plain-old-data and rows
+/// never change length). All unsafety is confined to numeric content —
+/// no pointers, lengths, or invariants depend on the racy values.
+#[derive(Debug)]
+pub struct Matrix {
+    n: usize,
+    dim: usize,
+    data: UnsafeCell<Vec<f32>>,
+}
+
+// SAFETY: see the Hogwild contract above — races only affect f32 payloads.
+unsafe impl Sync for Matrix {}
+
+impl Matrix {
+    /// Allocates an `n × dim` zero matrix.
+    pub fn zeros(n: usize, dim: usize) -> Self {
+        Self {
+            n,
+            dim,
+            data: UnsafeCell::new(vec![0.0; n * dim]),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// May observe concurrent writes under Hogwild; callers treat values
+    /// as approximate during training.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.n, "row {i} out of {}", self.n);
+        unsafe {
+            let v = &*self.data.get();
+            &v[i * self.dim..(i + 1) * self.dim]
+        }
+    }
+
+    /// Racy mutable view of row `i` (Hogwild update target).
+    ///
+    /// # Safety
+    ///
+    /// Callers must only read/write f32 values within the row and must not
+    /// hold the reference across calls that could reallocate (none exist:
+    /// the buffer is never resized after construction).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut_racy(&self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.n);
+        let v = &mut *self.data.get();
+        &mut v[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Exclusive mutable view (no races possible through `&mut self`).
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.n);
+        let dim = self.dim;
+        &mut self.data.get_mut()[i * dim..(i + 1) * dim]
+    }
+
+    /// Fills the matrix with `U(-0.5/dim, 0.5/dim)` noise (the word2vec /
+    /// LINE initialization).
+    pub fn init_uniform<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let half = 0.5 / self.dim as f32;
+        for x in self.data.get_mut().iter_mut() {
+            *x = rng.random_range(-half..half);
+        }
+    }
+
+    /// Copies `src` into row `i`.
+    pub fn set_row(&mut self, i: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.dim);
+        self.row_mut(i).copy_from_slice(src);
+    }
+
+    /// Serializes to a compact LE byte layout: `n`, `dim`, then payload.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.n * self.dim * 4);
+        buf.put_u64_le(self.n as u64);
+        buf.put_u64_le(self.dim as u64);
+        unsafe {
+            for &x in (*self.data.get()).iter() {
+                buf.put_f32_le(x);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from [`Matrix::to_bytes`] output.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.len() < 16 {
+            return Err("matrix header truncated".into());
+        }
+        let n = bytes.get_u64_le() as usize;
+        let dim = bytes.get_u64_le() as usize;
+        let need = n
+            .checked_mul(dim)
+            .and_then(|e| e.checked_mul(4))
+            .ok_or("matrix size overflow")?;
+        if bytes.len() != need {
+            return Err(format!("matrix payload {} != expected {need}", bytes.len()));
+        }
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            data.push(bytes.get_f32_le());
+        }
+        Ok(Self {
+            n,
+            dim,
+            data: UnsafeCell::new(data),
+        })
+    }
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            dim: self.dim,
+            data: UnsafeCell::new(unsafe { (*self.data.get()).clone() }),
+        }
+    }
+}
+
+/// Paired center (`x`) and context (`x'`) matrices of §5.2.2.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    /// Center vectors `x_i`.
+    pub centers: Matrix,
+    /// Context vectors `x'_i`.
+    pub contexts: Matrix,
+}
+
+impl EmbeddingStore {
+    /// Allocates zeroed center/context matrices.
+    pub fn zeros(n: usize, dim: usize) -> Self {
+        Self {
+            centers: Matrix::zeros(n, dim),
+            contexts: Matrix::zeros(n, dim),
+        }
+    }
+
+    /// Standard initialization: uniform noise for centers, zeros for
+    /// contexts (word2vec's scheme; zero contexts make the first gradient
+    /// of each edge purely attractive).
+    pub fn init<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Self {
+        let mut s = Self::zeros(n, dim);
+        s.centers.init_uniform(rng);
+        s
+    }
+
+    /// Number of embedded nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.centers.n_rows()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.centers.dim()
+    }
+
+    /// Serializes both matrices.
+    pub fn to_bytes(&self) -> Bytes {
+        let c = self.centers.to_bytes();
+        let x = self.contexts.to_bytes();
+        let mut buf = BytesMut::with_capacity(8 + c.len() + x.len());
+        buf.put_u64_le(c.len() as u64);
+        buf.put_slice(&c);
+        buf.put_slice(&x);
+        buf.freeze()
+    }
+
+    /// Deserializes from [`EmbeddingStore::to_bytes`] output.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.len() < 8 {
+            return Err("store header truncated".into());
+        }
+        let c_len = bytes.get_u64_le() as usize;
+        if bytes.len() < c_len {
+            return Err("store centers truncated".into());
+        }
+        let c = bytes.split_to(c_len);
+        let centers = Matrix::from_bytes(c)?;
+        let contexts = Matrix::from_bytes(bytes)?;
+        if centers.n_rows() != contexts.n_rows() || centers.dim() != contexts.dim() {
+            return Err("center/context shape mismatch".into());
+        }
+        Ok(Self { centers, contexts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rows_are_disjoint_and_indexed() {
+        let mut m = Matrix::zeros(3, 4);
+        m.set_row(1, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(0), &[0.0; 4]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.dim(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_bounds_checked() {
+        let m = Matrix::zeros(2, 2);
+        m.row(2);
+    }
+
+    #[test]
+    fn init_uniform_is_small_and_nonzero() {
+        let mut m = Matrix::zeros(10, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        m.init_uniform(&mut rng);
+        let bound = 0.5 / 8.0;
+        let mut any_nonzero = false;
+        for i in 0..10 {
+            for &x in m.row(i) {
+                assert!(x.abs() <= bound);
+                any_nonzero |= x != 0.0;
+            }
+        }
+        assert!(any_nonzero);
+    }
+
+    #[test]
+    fn racy_mut_access_is_usable_across_threads() {
+        let m = Matrix::zeros(4, 16);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let row = unsafe { m.row_mut_racy(t) };
+                        for x in row.iter_mut() {
+                            *x += 1.0;
+                        }
+                    }
+                });
+            }
+        });
+        // Disjoint rows per thread: no races at all, exact counts.
+        for t in 0..4 {
+            assert!(m.row(t).iter().all(|&x| x == 1000.0));
+        }
+    }
+
+    #[test]
+    fn matrix_bytes_round_trip() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set_row(0, &[1.0, -2.0, 3.5]);
+        m.set_row(1, &[0.0, 0.25, -0.125]);
+        let b = m.to_bytes();
+        let m2 = Matrix::from_bytes(b).unwrap();
+        assert_eq!(m2.row(0), m.row(0));
+        assert_eq!(m2.row(1), m.row(1));
+    }
+
+    #[test]
+    fn matrix_bytes_rejects_corruption() {
+        let m = Matrix::zeros(2, 2);
+        let b = m.to_bytes();
+        assert!(Matrix::from_bytes(b.slice(0..8)).is_err());
+        assert!(Matrix::from_bytes(b.slice(0..b.len() - 4)).is_err());
+    }
+
+    #[test]
+    fn store_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = EmbeddingStore::init(5, 4, &mut rng);
+        let b = s.to_bytes();
+        let s2 = EmbeddingStore::from_bytes(b).unwrap();
+        assert_eq!(s2.n_nodes(), 5);
+        assert_eq!(s2.dim(), 4);
+        for i in 0..5 {
+            assert_eq!(s.centers.row(i), s2.centers.row(i));
+            assert_eq!(s.contexts.row(i), s2.contexts.row(i));
+        }
+    }
+
+    #[test]
+    fn store_init_contexts_are_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = EmbeddingStore::init(3, 4, &mut rng);
+        for i in 0..3 {
+            assert_eq!(s.contexts.row(i), &[0.0; 4]);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Terminal-friendly ASCII rendering of spatial data.
+//!
+//! The paper's qualitative figures overlay results on a city map; a
+//! terminal-first library settles for a character grid: density maps of
+//! record locations and hotspot overlays that make `detect` output
+//! legible at a glance in examples and experiment logs.
+
+use mobility::GeoPoint;
+
+/// Density shading ramp from empty to dense.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders points as a `width × height` character density grid.
+/// Returns an empty string for no points.
+pub fn density_map(points: &[GeoPoint], width: usize, height: usize) -> String {
+    render(points, &[], width, height)
+}
+
+/// Like [`density_map`] with hotspot centers overlaid as `O`.
+pub fn density_map_with_hotspots(
+    points: &[GeoPoint],
+    hotspots: &[GeoPoint],
+    width: usize,
+    height: usize,
+) -> String {
+    render(points, hotspots, width, height)
+}
+
+fn render(points: &[GeoPoint], hotspots: &[GeoPoint], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
+    if points.is_empty() {
+        return String::new();
+    }
+    let mut min_lat = f64::INFINITY;
+    let mut max_lat = f64::NEG_INFINITY;
+    let mut min_lon = f64::INFINITY;
+    let mut max_lon = f64::NEG_INFINITY;
+    for p in points.iter().chain(hotspots) {
+        min_lat = min_lat.min(p.lat);
+        max_lat = max_lat.max(p.lat);
+        min_lon = min_lon.min(p.lon);
+        max_lon = max_lon.max(p.lon);
+    }
+    let lat_span = (max_lat - min_lat).max(1e-12);
+    let lon_span = (max_lon - min_lon).max(1e-12);
+    let cell_of = |p: &GeoPoint| -> (usize, usize) {
+        // Row 0 is the northern (max-lat) edge, like a map.
+        let r = ((max_lat - p.lat) / lat_span * (height - 1) as f64).round() as usize;
+        let c = ((p.lon - min_lon) / lon_span * (width - 1) as f64).round() as usize;
+        (r.min(height - 1), c.min(width - 1))
+    };
+
+    let mut counts = vec![0usize; width * height];
+    for p in points {
+        let (r, c) = cell_of(p);
+        counts[r * width + c] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
+
+    let mut grid: Vec<char> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                RAMP[0]
+            } else {
+                // Log shading: sparse cells stay visible next to dense ones.
+                let level = ((c as f64).ln_1p() / (max_count as f64).ln_1p()
+                    * (RAMP.len() - 1) as f64)
+                    .ceil() as usize;
+                RAMP[level.clamp(1, RAMP.len() - 1)]
+            }
+        })
+        .collect();
+    for h in hotspots {
+        let (r, c) = cell_of(h);
+        grid[r * width + c] = 'O';
+    }
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid.chunks(width) {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_points_give_empty_map() {
+        assert_eq!(density_map(&[], 10, 5), "");
+    }
+
+    #[test]
+    fn grid_dimensions_match() {
+        let pts = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)];
+        let map = density_map(&pts, 12, 6);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines.iter().all(|l| l.chars().count() == 12));
+    }
+
+    #[test]
+    fn dense_cells_shade_darker_than_sparse() {
+        let mut pts = Vec::new();
+        for _ in 0..100 {
+            pts.push(GeoPoint::new(0.0, 0.0)); // dense SW corner
+        }
+        pts.push(GeoPoint::new(1.0, 1.0)); // single point NE corner
+        let map = density_map(&pts, 10, 10);
+        let lines: Vec<&str> = map.lines().collect();
+        // North row holds the lone NE point, south row the dense cell.
+        let ne = lines[0].chars().last().unwrap();
+        let sw = lines[9].chars().next().unwrap();
+        let rank = |c: char| RAMP.iter().position(|&r| r == c).unwrap();
+        assert!(rank(sw) > rank(ne), "sw {sw:?} vs ne {ne:?}");
+    }
+
+    #[test]
+    fn hotspots_are_marked() {
+        let pts = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)];
+        let map = density_map_with_hotspots(&pts, &[GeoPoint::new(0.0, 0.0)], 8, 8);
+        assert!(map.contains('O'));
+    }
+
+    #[test]
+    fn map_orientation_is_north_up() {
+        // One point far north, one far south.
+        let pts = vec![GeoPoint::new(10.0, 0.0), GeoPoint::new(0.0, 0.0)];
+        let map = density_map(&pts, 5, 5);
+        let lines: Vec<&str> = map.lines().collect();
+        assert!(lines[0].trim() != "", "north point on top row");
+        assert!(lines[4].trim() != "", "south point on bottom row");
+        for l in &lines[1..4] {
+            assert_eq!(l.trim(), "", "middle rows empty");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_grid_rejected() {
+        density_map(&[GeoPoint::new(0.0, 0.0)], 1, 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Evaluation harness for cross-modal spatiotemporal activity models
+//! (paper §6.2–§6.4).
+//!
+//! * [`model`] — the [`CrossModalModel`] trait every compared method
+//!   implements (given two modalities, score a candidate for the third),
+//!   plus its implementation for ACTOR's [`actor_core::TrainedModel`];
+//! * [`tasks`] — query/candidate-set construction: ground truth + 10
+//!   noise candidates drawn from other test records (§6.2.1);
+//! * [`mrr`] — Mean Reciprocal Rank (Eq. 15) with pessimistic tie
+//!   handling;
+//! * [`neighbor`] — the qualitative neighbor-search queries of §6.4;
+//! * [`casestudy`] — side-by-side ranking tables (Fig. 5, Table 3);
+//! * [`report`] — fixed-width text tables matching the paper's layout.
+
+pub mod ascii;
+pub mod casestudy;
+pub mod model;
+pub mod mrr;
+pub mod neighbor;
+pub mod report;
+pub mod significance;
+pub mod summary;
+pub mod tasks;
+
+pub use model::CrossModalModel;
+pub use mrr::{hit_at_k, mean_reciprocal_rank, recall_at_k, reciprocal_rank};
+pub use significance::{compare_paired, PairedComparison};
+pub use summary::{evaluate_all, TaskSummary};
+pub use tasks::{evaluate_mrr, EvalParams, PredictionTask, Query};

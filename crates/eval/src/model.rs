@@ -1,0 +1,83 @@
+//! The model interface every compared method implements.
+
+use actor_core::TrainedModel;
+use mobility::{GeoPoint, KeywordId, Timestamp};
+
+/// A cross-modal activity model: given any two of (time, location, text),
+/// score a candidate value of the third (§3's three prediction problems).
+///
+/// Scores need only be *comparable within one query*; each method is free
+/// to use cosine similarity, log-likelihood, or any other monotone
+/// quantity.
+pub trait CrossModalModel {
+    /// Scores a candidate location given the record's time and text.
+    fn score_location(&self, t: Timestamp, words: &[KeywordId], candidate: GeoPoint) -> f64;
+
+    /// Scores a candidate timestamp given the record's location and text.
+    fn score_time(&self, location: GeoPoint, words: &[KeywordId], candidate: Timestamp) -> f64;
+
+    /// Scores a candidate text given the record's time and location.
+    fn score_text(&self, t: Timestamp, location: GeoPoint, candidate: &[KeywordId]) -> f64;
+
+    /// Display name used in report tables.
+    fn name(&self) -> &str;
+
+    /// Whether the model supports time prediction. Geographical topic
+    /// models (LGTA, MGTM) have no temporal modality — Table 2 prints "/"
+    /// in their Time columns.
+    fn supports_time(&self) -> bool {
+        true
+    }
+}
+
+impl CrossModalModel for TrainedModel {
+    fn score_location(&self, t: Timestamp, words: &[KeywordId], candidate: GeoPoint) -> f64 {
+        let tv = self.vector(self.time_node(t)).to_vec();
+        let wv = self.text_vector(words);
+        let query = self.query_vector(&[&tv, &wv]);
+        self.score(&query, self.location_node(candidate))
+    }
+
+    fn score_time(&self, location: GeoPoint, words: &[KeywordId], candidate: Timestamp) -> f64 {
+        let lv = self.vector(self.location_node(location)).to_vec();
+        let wv = self.text_vector(words);
+        let query = self.query_vector(&[&lv, &wv]);
+        self.score(&query, self.time_node(candidate))
+    }
+
+    fn score_text(&self, t: Timestamp, location: GeoPoint, candidate: &[KeywordId]) -> f64 {
+        let tv = self.vector(self.time_node(t)).to_vec();
+        let lv = self.vector(self.location_node(location)).to_vec();
+        let query = self.query_vector(&[&tv, &lv]);
+        let cv = self.text_vector(candidate);
+        embed::math::cosine(&query, &cv)
+    }
+
+    fn name(&self) -> &str {
+        "ACTOR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actor_core::ActorConfig;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, SplitSpec};
+
+    #[test]
+    fn actor_scores_are_finite_and_in_cosine_range() {
+        let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(11)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let (model, _) = actor_core::fit(&corpus, &split.train, &ActorConfig::fast()).unwrap();
+        let r = corpus.record(split.test[0]);
+        let s1 = model.score_location(r.timestamp, &r.keywords, r.location);
+        let s2 = model.score_time(r.location, &r.keywords, r.timestamp);
+        let s3 = model.score_text(r.timestamp, r.location, &r.keywords);
+        for s in [s1, s2, s3] {
+            assert!(s.is_finite());
+            assert!((-1.0..=1.0).contains(&s), "{s}");
+        }
+        assert_eq!(model.name(), "ACTOR");
+    }
+}

@@ -1,0 +1,172 @@
+//! Mean Reciprocal Rank (Eq. 15).
+
+/// Reciprocal rank of the ground-truth candidate given all candidate
+/// scores (higher = better).
+///
+/// Ties take the *average rank* of the tied block (the standard fair
+/// convention): a model that scores every candidate identically earns the
+/// expected rank of a random permutation, neither the top nor the floor.
+///
+/// ```
+/// use evalkit::reciprocal_rank;
+///
+/// // Ground truth (index 0) outscored by one candidate → rank 2.
+/// assert_eq!(reciprocal_rank(&[0.8, 0.9, 0.1], 0), 0.5);
+/// // Strict winner → rank 1.
+/// assert_eq!(reciprocal_rank(&[0.9, 0.8, 0.1], 0), 1.0);
+/// ```
+pub fn reciprocal_rank(scores: &[f64], gt_index: usize) -> f64 {
+    assert!(gt_index < scores.len(), "ground-truth index out of range");
+    let gt = scores[gt_index];
+    let mut better = 0usize;
+    let mut tied = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == gt_index {
+            continue;
+        }
+        if s > gt {
+            better += 1;
+        } else if s == gt {
+            tied += 1;
+        }
+    }
+    1.0 / (better as f64 + tied as f64 / 2.0 + 1.0)
+}
+
+/// Mean of reciprocal ranks over a query set.
+pub fn mean_reciprocal_rank(ranks: &[f64]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().sum::<f64>() / ranks.len() as f64
+}
+
+/// Whether the ground truth lands in the top `k` under average-rank tie
+/// handling (fractional when a tie block straddles the cutoff).
+///
+/// `hit_at_k(scores, gt, 1)` is the Precision@1 contribution of a query;
+/// averaging it over queries gives Recall@k (one relevant item per query).
+pub fn hit_at_k(scores: &[f64], gt_index: usize, k: usize) -> f64 {
+    assert!(gt_index < scores.len(), "ground-truth index out of range");
+    assert!(k >= 1, "k must be at least 1");
+    let gt = scores[gt_index];
+    let mut better = 0usize;
+    let mut tied = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == gt_index {
+            continue;
+        }
+        if s > gt {
+            better += 1;
+        } else if s == gt {
+            tied += 1;
+        }
+    }
+    if better >= k {
+        return 0.0;
+    }
+    // Slots left for the tie block (which includes the ground truth).
+    let slots = (k - better) as f64;
+    let block = (tied + 1) as f64;
+    (slots / block).min(1.0)
+}
+
+/// Mean Recall@k over queries: each query contributes its
+/// [`hit_at_k`]. `queries` holds `(scores, gt_index)` pairs.
+pub fn recall_at_k(queries: &[(Vec<f64>, usize)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|(scores, gt)| hit_at_k(scores, *gt, k))
+        .sum::<f64>()
+        / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_rank_is_one() {
+        assert_eq!(reciprocal_rank(&[0.9, 0.1, 0.2], 0), 1.0);
+    }
+
+    #[test]
+    fn middle_ranks() {
+        // gt scores 0.5; one better.
+        assert_eq!(reciprocal_rank(&[0.9, 0.5, 0.2], 1), 0.5);
+        // two better.
+        assert!((reciprocal_rank(&[0.9, 0.2, 0.8, 0.3], 1) - 1.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_take_average_rank() {
+        // All equal among 3: average rank 2 → RR 1/2.
+        assert!((reciprocal_rank(&[0.5, 0.5, 0.5], 0) - 0.5).abs() < 1e-12);
+        // One better, one tied: rank 2 + 0.5 → RR 1/2.5.
+        assert!((reciprocal_rank(&[0.9, 0.5, 0.5], 1) - 1.0 / 2.5).abs() < 1e-12);
+        // All equal among 11: average rank 6 → RR 1/6 (what a constant
+        // scorer earns per query).
+        let scores = [0.0; 11];
+        assert!((reciprocal_rank(&scores, 0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_queries() {
+        assert_eq!(mean_reciprocal_rank(&[1.0, 0.5]), 0.75);
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_gt_index_panics() {
+        reciprocal_rank(&[1.0], 3);
+    }
+
+    #[test]
+    fn hit_at_k_basic_cases() {
+        // GT strictly best: hits any k.
+        assert_eq!(hit_at_k(&[0.9, 0.1, 0.2], 0, 1), 1.0);
+        // One better: misses k=1, hits k=2.
+        assert_eq!(hit_at_k(&[0.9, 0.5, 0.2], 1, 1), 0.0);
+        assert_eq!(hit_at_k(&[0.9, 0.5, 0.2], 1, 2), 1.0);
+        // Three-way tie at the top, k=1: one slot for a 3-block → 1/3.
+        assert!((hit_at_k(&[0.5, 0.5, 0.5], 0, 1) - 1.0 / 3.0).abs() < 1e-12);
+        // Same tie, k=3: everyone fits.
+        assert_eq!(hit_at_k(&[0.5, 0.5, 0.5], 0, 3), 1.0);
+    }
+
+    #[test]
+    fn recall_at_k_averages_queries() {
+        let queries = vec![
+            (vec![0.9, 0.1], 0usize), // hit at 1
+            (vec![0.1, 0.9], 0usize), // miss at 1
+        ];
+        assert_eq!(recall_at_k(&queries, 1), 0.5);
+        assert_eq!(recall_at_k(&queries, 2), 1.0);
+        assert_eq!(recall_at_k(&[], 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hit_at_k_rejects_zero_k() {
+        hit_at_k(&[1.0], 0, 0);
+    }
+
+    #[test]
+    fn random_scores_average_near_expected() {
+        // With 11 candidates and random scores, E[RR] = H(11)/11 ≈ 0.274.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rrs = Vec::new();
+        for _ in 0..20_000 {
+            let scores: Vec<f64> = (0..11).map(|_| rng.random::<f64>()).collect();
+            rrs.push(reciprocal_rank(&scores, 0));
+        }
+        let mrr = mean_reciprocal_rank(&rrs);
+        let expected = (1..=11).map(|k| 1.0 / k as f64).sum::<f64>() / 11.0;
+        assert!((mrr - expected).abs() < 0.01, "{mrr} vs {expected}");
+    }
+}

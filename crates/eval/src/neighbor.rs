@@ -1,0 +1,136 @@
+//! Qualitative neighbor search (§6.4, Figs. 9–11).
+//!
+//! Given a spatial, temporal, or textual query, return the most similar
+//! units of each modality — the tables the paper prints next to the LA
+//! map (top words and times for a place; top words for a time of day;
+//! top words, places, and times for a venue keyword).
+
+use actor_core::TrainedModel;
+use mobility::{types::format_time_of_day, GeoPoint};
+use stgraph::{NodeId, NodeType};
+
+/// Result of a neighbor query: top-k per modality.
+#[derive(Debug, Clone)]
+pub struct NeighborReport {
+    /// Query description for display.
+    pub query: String,
+    /// Top keywords with scores.
+    pub words: Vec<(String, f64)>,
+    /// Top temporal hotspots as `HH:MM:SS` with scores.
+    pub times: Vec<(String, f64)>,
+    /// Top spatial hotspot centers with scores.
+    pub places: Vec<(GeoPoint, f64)>,
+}
+
+/// Runs a spatial query: the hotspot nearest `point` (Fig. 9).
+pub fn spatial_query(model: &TrainedModel, point: GeoPoint, k: usize) -> NeighborReport {
+    let node = model.location_node(point);
+    let query = model.vector(node).to_vec();
+    report(model, format!("location ({:.4}, {:.4})", point.lat, point.lon), &query, k)
+}
+
+/// Runs a temporal query: the hotspot nearest a second-of-day (Fig. 10).
+pub fn temporal_query(model: &TrainedModel, second_of_day: f64, k: usize) -> NeighborReport {
+    let node = model.time_of_day_node(second_of_day);
+    let query = model.vector(node).to_vec();
+    report(
+        model,
+        format!("time {}", format_time_of_day(second_of_day)),
+        &query,
+        k,
+    )
+}
+
+/// Runs a textual query on a vocabulary keyword (Fig. 11). Returns `None`
+/// for out-of-vocabulary words.
+pub fn textual_query(model: &TrainedModel, word: &str, k: usize) -> Option<NeighborReport> {
+    let kw = model.vocab().get(word)?;
+    let query = model.vector(model.word_node(kw)).to_vec();
+    Some(report(model, format!("keyword \"{word}\""), &query, k))
+}
+
+fn report(model: &TrainedModel, query_desc: String, query: &[f32], k: usize) -> NeighborReport {
+    let words = model.nearest_words(query, k);
+    let times = model
+        .nearest_of_type(query, NodeType::Time, k)
+        .into_iter()
+        .map(|(n, s)| (format_time_of_day(time_center(model, n)), s))
+        .collect();
+    let places = model
+        .nearest_of_type(query, NodeType::Location, k)
+        .into_iter()
+        .map(|(n, s)| (location_center(model, n), s))
+        .collect();
+    NeighborReport {
+        query: query_desc,
+        words,
+        times,
+        places,
+    }
+}
+
+fn time_center(model: &TrainedModel, node: NodeId) -> f64 {
+    let local = model.space().local_of(node);
+    model
+        .temporal_hotspots()
+        .center(hotspot::TemporalHotspotId(local))
+}
+
+fn location_center(model: &TrainedModel, node: NodeId) -> GeoPoint {
+    let local = model.space().local_of(node);
+    model
+        .spatial_hotspots()
+        .center(hotspot::SpatialHotspotId(local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actor_core::ActorConfig;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, SplitSpec};
+
+    fn model() -> TrainedModel {
+        let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(21)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        actor_core::fit(&corpus, &split.train, &ActorConfig::fast())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn queries_return_k_results_per_modality() {
+        let m = model();
+        let r = spatial_query(&m, GeoPoint::new(30.3, -97.7), 5);
+        assert_eq!(r.words.len(), 5);
+        assert_eq!(r.places.len(), 5);
+        assert!(r.times.len() <= 5 && !r.times.is_empty());
+        assert!(r.query.starts_with("location"));
+
+        let r = temporal_query(&m, 22.0 * 3600.0, 4);
+        assert_eq!(r.words.len(), 4);
+        assert!(r.query.starts_with("time 22:00"));
+    }
+
+    #[test]
+    fn textual_query_handles_oov() {
+        let m = model();
+        assert!(textual_query(&m, "definitely_not_a_word_xyz", 3).is_none());
+        let r = textual_query(&m, "beach", 3).unwrap();
+        // The query word itself tops its own neighbor list.
+        assert_eq!(r.words[0].0, "beach");
+        assert!(r.words[0].1 > 0.99);
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let m = model();
+        let r = spatial_query(&m, GeoPoint::new(30.2, -97.8), 8);
+        for pair in r.words.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        for pair in r.places.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+}

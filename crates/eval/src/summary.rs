@@ -1,0 +1,113 @@
+//! Convenience: evaluate a model on all three tasks at once.
+
+use mobility::{Corpus, RecordId};
+
+use crate::model::CrossModalModel;
+use crate::tasks::{build_queries, score_query, EvalParams, PredictionTask};
+
+/// MRRs for one model across the three prediction tasks; `time` is `None`
+/// for models without a temporal modality (Table 2's "/" cells).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSummary {
+    /// Model name as reported by [`CrossModalModel::name`].
+    pub model: String,
+    /// Activity (text) prediction MRR.
+    pub text: f64,
+    /// Location prediction MRR.
+    pub location: f64,
+    /// Time prediction MRR, when supported.
+    pub time: Option<f64>,
+    /// Number of queries evaluated per task.
+    pub n_queries: usize,
+}
+
+impl TaskSummary {
+    /// The MRR for a task (Time may be absent).
+    pub fn get(&self, task: PredictionTask) -> Option<f64> {
+        match task {
+            PredictionTask::Text => Some(self.text),
+            PredictionTask::Location => Some(self.location),
+            PredictionTask::Time => self.time,
+        }
+    }
+}
+
+/// Evaluates `model` on every task with one shared query set (queries are
+/// built once, so all three MRRs use identical candidates).
+pub fn evaluate_all<M: CrossModalModel + ?Sized>(
+    model: &M,
+    corpus: &Corpus,
+    test_ids: &[RecordId],
+    params: &EvalParams,
+) -> TaskSummary {
+    let queries = build_queries(test_ids, params);
+    let mean = |task: PredictionTask| -> f64 {
+        if queries.is_empty() {
+            return 0.0;
+        }
+        queries
+            .iter()
+            .map(|q| score_query(model, corpus, q, task))
+            .sum::<f64>()
+            / queries.len() as f64
+    };
+    TaskSummary {
+        model: model.name().to_string(),
+        text: mean(PredictionTask::Text),
+        location: mean(PredictionTask::Location),
+        time: model.supports_time().then(|| mean(PredictionTask::Time)),
+        n_queries: queries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::evaluate_mrr;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, GeoPoint, KeywordId, SplitSpec, Timestamp};
+
+    struct LocOnly;
+    impl CrossModalModel for LocOnly {
+        fn score_location(&self, _: Timestamp, _: &[KeywordId], c: GeoPoint) -> f64 {
+            -c.lat.abs()
+        }
+        fn score_time(&self, _: GeoPoint, _: &[KeywordId], _: Timestamp) -> f64 {
+            0.0
+        }
+        fn score_text(&self, _: Timestamp, _: GeoPoint, c: &[KeywordId]) -> f64 {
+            c.len() as f64
+        }
+        fn name(&self) -> &str {
+            "loc-only"
+        }
+        fn supports_time(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn summary_matches_per_task_evaluation() {
+        let (corpus, _) = generate(DatasetPreset::Tweet.small_config(60)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let params = EvalParams {
+            max_queries: 25,
+            ..EvalParams::default()
+        };
+        let s = evaluate_all(&LocOnly, &corpus, &split.test, &params);
+        assert_eq!(s.model, "loc-only");
+        assert_eq!(s.n_queries, 25);
+        assert_eq!(s.time, None);
+        let loc = evaluate_mrr(
+            &LocOnly,
+            &corpus,
+            &split.test,
+            PredictionTask::Location,
+            &params,
+        );
+        assert_eq!(s.location, loc);
+        assert_eq!(s.get(PredictionTask::Location), Some(loc));
+        assert_eq!(s.get(PredictionTask::Time), None);
+        assert!(s.get(PredictionTask::Text).is_some());
+    }
+}

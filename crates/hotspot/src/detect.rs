@@ -1,0 +1,432 @@
+//! End-to-end hotspot detectors with nearest-hotspot assignment.
+//!
+//! These wrap the mean-shift machinery into the two detectors the ACTOR
+//! pipeline needs: spatial hotspots over record locations and temporal
+//! hotspots over records' time of day. After detection, any data point is
+//! assigned to its closest hotspot (§4.3 last paragraph) — that assignment
+//! defines the `L`/`T` vertices each record contributes to the activity
+//! graph.
+
+use mobility::{GeoPoint, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid2D;
+use crate::meanshift::{MeanShift, MeanShiftParams};
+use crate::space::{Circular1D, Planar2D, Space};
+
+/// Identifier of a spatial hotspot (index into [`SpatialHotspots::centers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpatialHotspotId(pub u32);
+
+impl SpatialHotspotId {
+    /// Index form.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a temporal hotspot (index into [`TemporalHotspots::centers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TemporalHotspotId(pub u32);
+
+impl TemporalHotspotId {
+    /// Index form.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Detected spatial hotspots plus an assignment index.
+#[derive(Debug, Clone)]
+pub struct SpatialHotspots {
+    centers: Vec<GeoPoint>,
+    counts: Vec<usize>,
+    index: Grid2D,
+}
+
+impl SpatialHotspots {
+    /// Runs mean-shift over `points` and assigns each point to its nearest
+    /// mode. `min_support` drops hotspots that attract fewer points.
+    pub fn detect(points: &[GeoPoint], params: MeanShiftParams, min_support: usize) -> Self {
+        assert!(!points.is_empty(), "cannot detect hotspots in empty data");
+        let window = Grid2D::build(points, params.bandwidth);
+        let h = params.bandwidth;
+        let neighbors = |q: GeoPoint, out: &mut Vec<GeoPoint>| {
+            window.for_each_within(q, h, |_, p| out.push(p));
+        };
+        let ms = MeanShift::new(Planar2D, params);
+        let modes = ms.run(points, neighbors);
+        let mut centers: Vec<GeoPoint> = modes.iter().map(|m| m.point).collect();
+
+        // Assign every point to its nearest mode and keep well-supported
+        // modes only.
+        let mode_index = Grid2D::build(&centers, params.bandwidth.max(1e-9));
+        let mut counts = vec![0usize; centers.len()];
+        for p in points {
+            counts[mode_index.nearest(*p) as usize] += 1;
+        }
+        let keep: Vec<usize> = (0..centers.len())
+            .filter(|&i| counts[i] >= min_support)
+            .collect();
+        // Degenerate guard: keep at least the best-supported mode.
+        let keep = if keep.is_empty() { vec![0] } else { keep };
+        centers = keep.iter().map(|&i| centers[i]).collect();
+
+        let index = Grid2D::build(&centers, params.bandwidth.max(1e-9));
+        let mut final_counts = vec![0usize; centers.len()];
+        for p in points {
+            final_counts[index.nearest(*p) as usize] += 1;
+        }
+        Self {
+            centers,
+            counts: final_counts,
+            index,
+        }
+    }
+
+    /// Rebuilds the structure from previously detected centers (model
+    /// loading); counts are zeroed since the raw data is gone.
+    ///
+    /// Panics on empty `centers`.
+    pub fn from_centers(centers: &[GeoPoint], params: MeanShiftParams) -> Self {
+        assert!(!centers.is_empty(), "need at least one center");
+        let index = Grid2D::build(centers, params.bandwidth.max(1e-9));
+        Self {
+            centers: centers.to_vec(),
+            counts: vec![0; centers.len()],
+            index,
+        }
+    }
+
+    /// Hotspot centers.
+    pub fn centers(&self) -> &[GeoPoint] {
+        &self.centers
+    }
+
+    /// Points assigned to each hotspot during detection.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of hotspots.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True if no hotspots were found (never true after `detect`).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Nearest hotspot to `p` (the §4.3 assignment rule).
+    pub fn assign(&self, p: GeoPoint) -> SpatialHotspotId {
+        SpatialHotspotId(self.index.nearest(p))
+    }
+
+    /// The hotspot's center.
+    pub fn center(&self, id: SpatialHotspotId) -> GeoPoint {
+        self.centers[id.idx()]
+    }
+}
+
+/// Detected temporal hotspots (time-of-day modes) plus assignment.
+///
+/// ```
+/// use hotspot::{TemporalHotspots, MeanShiftParams};
+///
+/// // A burst of lunchtime activity around 12:30.
+/// let seconds: Vec<f64> = (0..200).map(|i| 45_000.0 + (i % 40) as f64 * 30.0).collect();
+/// let hotspots = TemporalHotspots::detect(
+///     &seconds, MeanShiftParams::with_bandwidth(1800.0), 5);
+/// assert_eq!(hotspots.len(), 1);
+/// // New timestamps are assigned to the closest mode (§4.3).
+/// assert_eq!(hotspots.assign(46_000.0).idx(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalHotspots {
+    /// Mode positions in seconds of day, ascending.
+    centers: Vec<f64>,
+    counts: Vec<usize>,
+    circle: Circular1D,
+}
+
+impl TemporalHotspots {
+    /// Runs circular mean-shift over seconds-of-day (period 86 400).
+    pub fn detect(seconds: &[f64], params: MeanShiftParams, min_support: usize) -> Self {
+        Self::detect_with_period(seconds, SECONDS_PER_DAY as f64, params, min_support)
+    }
+
+    /// Runs circular mean-shift with an explicit period — e.g.
+    /// `SECONDS_PER_WEEK` to capture weekday/weekend rhythms instead of
+    /// daily ones. Values are wrapped into `[0, period)`.
+    pub fn detect_with_period(
+        seconds: &[f64],
+        period: f64,
+        params: MeanShiftParams,
+        min_support: usize,
+    ) -> Self {
+        assert!(!seconds.is_empty(), "cannot detect hotspots in empty data");
+        assert!(period > 0.0, "period must be positive");
+        let circle = Circular1D::new(period);
+        let mut sorted: Vec<f64> = seconds.iter().map(|&s| circle.wrap(s)).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite seconds"));
+        let h = params.bandwidth;
+        let sorted_ref = &sorted;
+        let neighbors = move |q: f64, out: &mut Vec<f64>| {
+            // Wrapping window scan over the sorted values.
+            let (lo, hi) = (q - h, q + h);
+            let mut scan = |a: f64, b: f64| {
+                let start = sorted_ref.partition_point(|&v| v < a);
+                let end = sorted_ref.partition_point(|&v| v <= b);
+                out.extend_from_slice(&sorted_ref[start..end]);
+            };
+            if lo < 0.0 {
+                scan(0.0, hi);
+                scan(lo + period, period);
+            } else if hi > period {
+                scan(lo, period);
+                scan(0.0, hi - period);
+            } else {
+                scan(lo, hi);
+            }
+        };
+        let ms = MeanShift::new(circle, params);
+        let modes = ms.run(&sorted, neighbors);
+        let mut centers: Vec<f64> = modes.iter().map(|m| m.point).collect();
+
+        let mut keep_counts = assign_counts(&centers, &sorted, circle);
+        let keep: Vec<usize> = (0..centers.len())
+            .filter(|&i| keep_counts[i] >= min_support)
+            .collect();
+        let keep = if keep.is_empty() { vec![0] } else { keep };
+        centers = keep.iter().map(|&i| centers[i]).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).expect("finite centers"));
+        keep_counts = assign_counts(&centers, &sorted, circle);
+
+        Self {
+            centers,
+            counts: keep_counts,
+            circle,
+        }
+    }
+
+    /// Rebuilds the structure from previously detected centers with a
+    /// daily period (model loading); counts are zeroed since the raw data
+    /// is gone. Panics on empty `centers`.
+    pub fn from_centers(centers: &[f64]) -> Self {
+        Self::from_centers_with_period(centers, SECONDS_PER_DAY as f64)
+    }
+
+    /// Like [`TemporalHotspots::from_centers`] with an explicit period.
+    pub fn from_centers_with_period(centers: &[f64], period: f64) -> Self {
+        assert!(!centers.is_empty(), "need at least one center");
+        assert!(period > 0.0, "period must be positive");
+        let mut centers = centers.to_vec();
+        centers.sort_by(|a, b| a.partial_cmp(b).expect("finite centers"));
+        let counts = vec![0; centers.len()];
+        Self {
+            centers,
+            counts,
+            circle: Circular1D::new(period),
+        }
+    }
+
+    /// The circular period in seconds (86 400 for daily hotspots).
+    pub fn period(&self) -> f64 {
+        self.circle.period
+    }
+
+    /// Assigns a raw timestamp by wrapping it into this detector's period.
+    pub fn assign_timestamp(&self, t: mobility::Timestamp) -> TemporalHotspotId {
+        self.assign((t as f64).rem_euclid(self.circle.period))
+    }
+
+    /// Hotspot centers in seconds of day, ascending.
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Points assigned to each hotspot during detection.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of hotspots.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True if no hotspots were found (never true after `detect`).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Nearest hotspot to second-of-day `s` on the circle.
+    pub fn assign(&self, s: f64) -> TemporalHotspotId {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &c) in self.centers.iter().enumerate() {
+            let d = self.circle.dist(s, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        TemporalHotspotId(best as u32)
+    }
+
+    /// The hotspot's center second of day.
+    pub fn center(&self, id: TemporalHotspotId) -> f64 {
+        self.centers[id.idx()]
+    }
+}
+
+fn assign_counts(centers: &[f64], values: &[f64], circle: Circular1D) -> Vec<usize> {
+    let mut counts = vec![0usize; centers.len()];
+    for &v in values {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &c) in centers.iter().enumerate() {
+            let d = circle.dist(v, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        counts[best] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::rng::{normal, wrapped_normal};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn spatial_detects_planted_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let centers = [
+            GeoPoint::new(34.00, -118.20),
+            GeoPoint::new(34.10, -118.40),
+            GeoPoint::new(33.80, -118.30),
+        ];
+        let mut pts = Vec::new();
+        for c in &centers {
+            for _ in 0..300 {
+                pts.push(GeoPoint::new(
+                    normal(&mut rng, c.lat, 0.005),
+                    normal(&mut rng, c.lon, 0.005),
+                ));
+            }
+        }
+        let hs = SpatialHotspots::detect(&pts, MeanShiftParams::with_bandwidth(0.02), 5);
+        assert_eq!(hs.len(), 3, "{:?}", hs.centers());
+        for c in &centers {
+            let id = hs.assign(*c);
+            assert!(hs.center(id).dist(c) < 0.005);
+        }
+        assert_eq!(hs.counts().iter().sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    fn spatial_min_support_drops_noise_modes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pts: Vec<GeoPoint> = (0..500)
+            .map(|_| {
+                GeoPoint::new(normal(&mut rng, 0.0, 0.004), normal(&mut rng, 0.0, 0.004))
+            })
+            .collect();
+        // One isolated outlier far away.
+        pts.push(GeoPoint::new(1.0, 1.0));
+        let strict = SpatialHotspots::detect(&pts, MeanShiftParams::with_bandwidth(0.02), 5);
+        assert_eq!(strict.len(), 1);
+        let lax = SpatialHotspots::detect(&pts, MeanShiftParams::with_bandwidth(0.02), 1);
+        assert_eq!(lax.len(), 2);
+    }
+
+    #[test]
+    fn temporal_detects_morning_and_evening_peaks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut secs = Vec::new();
+        for _ in 0..400 {
+            secs.push(wrapped_normal(&mut rng, 8.5 * 3600.0, 1800.0, 86_400.0));
+            secs.push(wrapped_normal(&mut rng, 21.0 * 3600.0, 1800.0, 86_400.0));
+        }
+        let hs = TemporalHotspots::detect(&secs, MeanShiftParams::with_bandwidth(3600.0), 10);
+        assert_eq!(hs.len(), 2, "{:?}", hs.centers());
+        // Centers are sorted ascending.
+        assert!(hs.centers()[0] < hs.centers()[1]);
+        assert!((hs.centers()[0] - 8.5 * 3600.0).abs() < 1200.0);
+        assert!((hs.centers()[1] - 21.0 * 3600.0).abs() < 1200.0);
+        // Assignment picks the closest mode, wrapping across midnight.
+        let late = hs.assign(23.5 * 3600.0);
+        assert_eq!(hs.center(late), hs.centers()[1]);
+        assert_eq!(hs.counts().iter().sum::<usize>(), secs.len());
+    }
+
+    #[test]
+    fn temporal_peak_straddling_midnight() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let secs: Vec<f64> = (0..500)
+            .map(|_| wrapped_normal(&mut rng, 23.8 * 3600.0, 1500.0, 86_400.0))
+            .collect();
+        let hs = TemporalHotspots::detect(&secs, MeanShiftParams::with_bandwidth(3600.0), 10);
+        assert_eq!(hs.len(), 1, "{:?}", hs.centers());
+        let circle = Circular1D::new(86_400.0);
+        assert!(circle.dist(hs.centers()[0], 23.8 * 3600.0) < 1200.0);
+    }
+
+    #[test]
+    fn from_centers_round_trips_assignment() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<GeoPoint> = (0..300)
+            .map(|_| {
+                GeoPoint::new(
+                    normal(&mut rng, 34.0, 0.02),
+                    normal(&mut rng, -118.2, 0.02),
+                )
+            })
+            .collect();
+        let params = MeanShiftParams::with_bandwidth(0.01);
+        let detected = SpatialHotspots::detect(&pts, params, 2);
+        let rebuilt = SpatialHotspots::from_centers(detected.centers(), params);
+        assert_eq!(rebuilt.len(), detected.len());
+        for p in pts.iter().step_by(7) {
+            assert_eq!(rebuilt.assign(*p), detected.assign(*p));
+        }
+        // Counts are intentionally zeroed on rebuild.
+        assert!(rebuilt.counts().iter().all(|&c| c == 0));
+
+        let secs: Vec<f64> = (0..200)
+            .map(|_| wrapped_normal(&mut rng, 20.0 * 3600.0, 3600.0, 86_400.0))
+            .collect();
+        let tdetected = TemporalHotspots::detect(&secs, MeanShiftParams::with_bandwidth(1800.0), 2);
+        let trebuilt = TemporalHotspots::from_centers(tdetected.centers());
+        assert_eq!(trebuilt.centers(), tdetected.centers());
+        for &s in secs.iter().step_by(7) {
+            assert_eq!(trebuilt.assign(s), tdetected.assign(s));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_centers_rejects_empty() {
+        SpatialHotspots::from_centers(&[], MeanShiftParams::with_bandwidth(0.01));
+    }
+
+    #[test]
+    #[should_panic]
+    fn spatial_rejects_empty() {
+        SpatialHotspots::detect(&[], MeanShiftParams::with_bandwidth(0.01), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn temporal_rejects_empty() {
+        TemporalHotspots::detect(&[], MeanShiftParams::with_bandwidth(1800.0), 1);
+    }
+}

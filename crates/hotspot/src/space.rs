@@ -1,0 +1,147 @@
+//! Metric spaces mean-shift can run in.
+//!
+//! Locations live in a planar 2-D space; times of day live on a circle
+//! (23:55 and 00:05 are ten minutes apart). Mean-shift only needs distance
+//! and a windowed mean, so both are expressed through one trait.
+
+use mobility::GeoPoint;
+
+/// A metric space with the operations mean-shift needs.
+pub trait Space {
+    /// A point in the space.
+    type Point: Copy + PartialEq + std::fmt::Debug;
+
+    /// Distance between two points.
+    fn dist(&self, a: Self::Point, b: Self::Point) -> f64;
+
+    /// The mean of `points`, computed *relative to* `anchor` so that
+    /// circular spaces average correctly within a window around the anchor.
+    /// `points` is non-empty.
+    fn local_mean(&self, anchor: Self::Point, points: &[Self::Point]) -> Self::Point;
+}
+
+/// The planar 2-D space of geographic coordinates (degree space; see
+/// [`GeoPoint::dist`] for why planar is adequate at city scale).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planar2D;
+
+impl Space for Planar2D {
+    type Point = GeoPoint;
+
+    #[inline]
+    fn dist(&self, a: GeoPoint, b: GeoPoint) -> f64 {
+        a.dist(&b)
+    }
+
+    fn local_mean(&self, _anchor: GeoPoint, points: &[GeoPoint]) -> GeoPoint {
+        debug_assert!(!points.is_empty());
+        let n = points.len() as f64;
+        let (mut lat, mut lon) = (0.0, 0.0);
+        for p in points {
+            lat += p.lat;
+            lon += p.lon;
+        }
+        GeoPoint::new(lat / n, lon / n)
+    }
+}
+
+/// The circle `[0, period)`, used for time of day with `period = 86 400`.
+#[derive(Debug, Clone, Copy)]
+pub struct Circular1D {
+    /// Circumference of the circle.
+    pub period: f64,
+}
+
+impl Circular1D {
+    /// A circle of the given period.
+    pub fn new(period: f64) -> Self {
+        assert!(period > 0.0);
+        Self { period }
+    }
+
+    /// Signed shortest displacement from `a` to `b` in `(-period/2, period/2]`.
+    #[inline]
+    pub fn signed_diff(&self, a: f64, b: f64) -> f64 {
+        let mut d = (b - a).rem_euclid(self.period);
+        if d > self.period / 2.0 {
+            d -= self.period;
+        }
+        d
+    }
+
+    /// Wraps `x` into `[0, period)`.
+    #[inline]
+    pub fn wrap(&self, x: f64) -> f64 {
+        x.rem_euclid(self.period)
+    }
+}
+
+impl Space for Circular1D {
+    type Point = f64;
+
+    #[inline]
+    fn dist(&self, a: f64, b: f64) -> f64 {
+        self.signed_diff(a, b).abs()
+    }
+
+    fn local_mean(&self, anchor: f64, points: &[f64]) -> f64 {
+        debug_assert!(!points.is_empty());
+        // Average the signed displacements from the anchor; valid because
+        // window radii are far below period/2.
+        let mean_diff =
+            points.iter().map(|&p| self.signed_diff(anchor, p)).sum::<f64>() / points.len() as f64;
+        self.wrap(anchor + mean_diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_mean_is_centroid() {
+        let s = Planar2D;
+        let pts = [GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 4.0)];
+        let m = s.local_mean(pts[0], &pts);
+        assert!((m.lat - 1.0).abs() < 1e-12);
+        assert!((m.lon - 2.0).abs() < 1e-12);
+        assert!((s.dist(pts[0], pts[1]) - 20f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_distance_wraps() {
+        let c = Circular1D::new(24.0);
+        assert!((c.dist(23.5, 0.5) - 1.0).abs() < 1e-12);
+        assert!((c.dist(0.5, 23.5) - 1.0).abs() < 1e-12);
+        assert!((c.dist(6.0, 18.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_signed_diff_signs() {
+        let c = Circular1D::new(24.0);
+        assert!(c.signed_diff(23.0, 1.0) > 0.0);
+        assert!(c.signed_diff(1.0, 23.0) < 0.0);
+        assert_eq!(c.signed_diff(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn circular_mean_crosses_midnight() {
+        let c = Circular1D::new(24.0);
+        // Points straddling midnight average near midnight, not noon.
+        let m = c.local_mean(23.5, &[23.0, 1.0]);
+        assert!(m >= 23.9 || m <= 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn circular_wrap() {
+        let c = Circular1D::new(24.0);
+        assert_eq!(c.wrap(25.0), 1.0);
+        assert_eq!(c.wrap(-1.0), 23.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn circular_rejects_nonpositive_period() {
+        Circular1D::new(0.0);
+    }
+}

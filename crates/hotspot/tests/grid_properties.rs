@@ -1,0 +1,48 @@
+//! Property tests for the grid index: exhaustive window queries and exact
+//! nearest neighbors against brute force, over arbitrary point clouds.
+
+use hotspot::grid::Grid2D;
+use mobility::GeoPoint;
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<GeoPoint>> {
+    prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..60)
+        .prop_map(|v| v.into_iter().map(|(a, b)| GeoPoint::new(a, b)).collect())
+}
+
+proptest! {
+    #[test]
+    fn within_matches_brute_force(
+        points in points_strategy(),
+        q in (-6.0f64..6.0, -6.0f64..6.0),
+        radius in 0.01f64..2.0,
+        cell in 0.1f64..3.0,
+    ) {
+        let grid = Grid2D::build(&points, cell);
+        let q = GeoPoint::new(q.0, q.1);
+        let mut got = grid.within(q, radius).len();
+        let want = points.iter().filter(|p| q.dist(p) <= radius).count();
+        // Exact match: the ring scan must be exhaustive for any radius.
+        prop_assert_eq!(got, want);
+        // And idempotent.
+        got = grid.within(q, radius).len();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force(
+        points in points_strategy(),
+        q in (-8.0f64..8.0, -8.0f64..8.0),
+        cell in 0.05f64..2.0,
+    ) {
+        let grid = Grid2D::build(&points, cell);
+        let q = GeoPoint::new(q.0, q.1);
+        let got = grid.nearest(q) as usize;
+        let best = points
+            .iter()
+            .map(|p| q.dist2(p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((q.dist2(&points[got]) - best).abs() < 1e-12,
+            "grid returned {} (d2 {}), best d2 {}", got, q.dist2(&points[got]), best);
+    }
+}

@@ -1,0 +1,291 @@
+//! Importing real mobile data.
+//!
+//! The experiments run on synthetic corpora, but the library is meant to
+//! be pointed at real geo-tagged exports too. This module ingests the
+//! lowest common denominator — line-delimited records with a timestamp,
+//! a latitude/longitude pair, free text, and optional user/mention
+//! fields — building the vocabulary (tokenization + stop-word removal)
+//! and user table on the fly.
+//!
+//! Two formats:
+//!
+//! * **TSV** (`parse_tsv`): `user <TAB> timestamp <TAB> lat <TAB> lon
+//!   <TAB> text`, the layout of the UTGEO2011-style dumps. Mentions are
+//!   recovered from `@handle` tokens in the text.
+//! * **Builder** (`CorpusBuilder`): push records programmatically from any
+//!   source (database rows, JSON readers, …).
+
+use std::collections::HashMap;
+
+use crate::corpus::Corpus;
+use crate::error::MobilityError;
+use crate::types::{GeoPoint, KeywordId, Record, RecordId, Timestamp, UserId};
+use crate::vocab::Vocabulary;
+
+/// Incrementally builds a corpus from raw records.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    name: String,
+    vocab: Vocabulary,
+    users: HashMap<String, UserId>,
+    user_names: Vec<String>,
+    records: Vec<Record>,
+}
+
+impl CorpusBuilder {
+    /// Creates a named builder.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Interns a user handle.
+    pub fn user(&mut self, handle: &str) -> UserId {
+        let handle = handle.trim().trim_start_matches('@').to_ascii_lowercase();
+        if let Some(&id) = self.users.get(&handle) {
+            return id;
+        }
+        let id = UserId::from(self.user_names.len());
+        self.users.insert(handle.clone(), id);
+        self.user_names.push(handle);
+        id
+    }
+
+    /// Tokenizes free text: splits on non-alphanumeric boundaries (keeping
+    /// `_`, `#`, `@` inside tokens), lower-cases, interns content words,
+    /// and returns `@mention` handles separately.
+    pub fn tokenize(&mut self, text: &str) -> (Vec<KeywordId>, Vec<UserId>) {
+        let mut keywords = Vec::new();
+        let mut mentions = Vec::new();
+        for raw in text.split(|c: char| c.is_whitespace() || ",.;:!?\"()[]{}".contains(c)) {
+            let token = raw.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some(handle) = token.strip_prefix('@') {
+                if !handle.is_empty() {
+                    mentions.push(self.user(handle));
+                }
+                continue;
+            }
+            let token = token.trim_start_matches('#');
+            // Skip URLs and pure numbers.
+            if token.starts_with("http") || token.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if let Some(id) = self.vocab.intern(token) {
+                keywords.push(id);
+            }
+        }
+        (keywords, mentions)
+    }
+
+    /// Pushes one record with pre-tokenized content.
+    pub fn push(
+        &mut self,
+        user: UserId,
+        timestamp: Timestamp,
+        location: GeoPoint,
+        keywords: Vec<KeywordId>,
+        mentions: Vec<UserId>,
+    ) {
+        self.records.push(Record {
+            id: RecordId::from(self.records.len()),
+            user,
+            timestamp,
+            location,
+            keywords,
+            mentions,
+        });
+    }
+
+    /// Pushes one record with raw text (tokenized internally; `@mentions`
+    /// found in the text become interaction edges).
+    pub fn push_text(
+        &mut self,
+        user_handle: &str,
+        timestamp: Timestamp,
+        location: GeoPoint,
+        text: &str,
+    ) {
+        let user = self.user(user_handle);
+        let (keywords, mut mentions) = self.tokenize(text);
+        mentions.retain(|&m| m != user);
+        mentions.dedup();
+        self.push(user, timestamp, location, keywords, mentions);
+    }
+
+    /// Finalizes the corpus.
+    pub fn build(self) -> Result<Corpus, MobilityError> {
+        Corpus::new(
+            self.name,
+            self.records,
+            self.vocab,
+            self.user_names.len() as u32,
+        )
+    }
+}
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `user <TAB> unix_timestamp <TAB> lat <TAB> lon <TAB> text`
+/// lines into a corpus. Empty lines and `#`-prefixed comment lines are
+/// skipped; any malformed line aborts with its line number.
+pub fn parse_tsv(name: &str, input: &str) -> Result<Corpus, ParseError> {
+    let mut builder = CorpusBuilder::new(name);
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(5, '\t');
+        let mut next = |what: &str| {
+            parts.next().filter(|s| !s.is_empty()).ok_or(ParseError {
+                line: lineno,
+                reason: format!("missing {what} field"),
+            })
+        };
+        let user = next("user")?;
+        let ts: Timestamp = next("timestamp")?.parse().map_err(|e| ParseError {
+            line: lineno,
+            reason: format!("bad timestamp: {e}"),
+        })?;
+        let lat: f64 = next("lat")?.parse().map_err(|e| ParseError {
+            line: lineno,
+            reason: format!("bad latitude: {e}"),
+        })?;
+        let lon: f64 = next("lon")?.parse().map_err(|e| ParseError {
+            line: lineno,
+            reason: format!("bad longitude: {e}"),
+        })?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(ParseError {
+                line: lineno,
+                reason: format!("coordinates out of range: ({lat}, {lon})"),
+            });
+        }
+        let text = next("text")?;
+        builder.push_text(user, ts, GeoPoint::new(lat, lon), text);
+    }
+    builder.build().map_err(|e| ParseError {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# user\ttimestamp\tlat\tlon\ttext
+alice\t1406851200\t34.05\t-118.24\tGreat surf at the beach today! @bob
+bob\t1406854800\t34.06\t-118.25\tEspresso and a pastry, the usual #coffee
+
+carol\t1406858400\t33.74\t-118.26\tShips at the harbor http://pic.example 42
+";
+
+    #[test]
+    fn parses_valid_tsv() {
+        let corpus = parse_tsv("demo", SAMPLE).unwrap();
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.num_users(), 3);
+
+        let r0 = &corpus.records()[0];
+        let words: Vec<&str> = r0.keywords.iter().map(|&k| corpus.vocab().word(k)).collect();
+        assert!(words.contains(&"surf"));
+        assert!(words.contains(&"beach"));
+        // Stop words removed ("at", "the", "today").
+        assert!(!words.contains(&"the"));
+        assert!(!words.contains(&"today"));
+        // Mention captured, not interned as a keyword.
+        assert_eq!(r0.mentions.len(), 1);
+        assert!(!words.contains(&"bob"));
+
+        // Hashtag and URL handling.
+        let r1 = &corpus.records()[1];
+        let words1: Vec<&str> = r1.keywords.iter().map(|&k| corpus.vocab().word(k)).collect();
+        assert!(words1.contains(&"coffee"));
+        let r2 = &corpus.records()[2];
+        let words2: Vec<&str> = r2.keywords.iter().map(|&k| corpus.vocab().word(k)).collect();
+        assert!(words2.contains(&"harbor"));
+        assert!(!words2.iter().any(|w| w.starts_with("http")));
+        assert!(!words2.contains(&"42"));
+    }
+
+    #[test]
+    fn mention_user_ids_are_shared_with_authors() {
+        let corpus = parse_tsv("demo", SAMPLE).unwrap();
+        let r0 = &corpus.records()[0];
+        let r1 = &corpus.records()[1];
+        // alice mentioned @bob; bob authored record 1.
+        assert_eq!(r0.mentions[0], r1.user);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        let bad = "alice\t1406851200\t34.05\t-118.24\thi\nbob\tnot_a_ts\t1\t2\tx";
+        let err = parse_tsv("demo", bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("timestamp"));
+
+        let bad = "alice\t1406851200\t934.05\t-118.24\thi";
+        let err = parse_tsv("demo", bad).unwrap_err();
+        assert!(err.reason.contains("out of range"));
+
+        let bad = "alice\t1406851200\t34.05";
+        let err = parse_tsv("demo", bad).unwrap_err();
+        assert!(err.reason.contains("missing"));
+    }
+
+    #[test]
+    fn builder_self_mentions_are_dropped() {
+        let mut b = CorpusBuilder::new("t");
+        b.push_text("alice", 0, GeoPoint::new(1.0, 2.0), "talking to @alice myself");
+        let corpus = b.build().unwrap();
+        assert!(corpus.records()[0].mentions.is_empty());
+    }
+
+    #[test]
+    fn builder_user_interning_is_case_insensitive() {
+        let mut b = CorpusBuilder::new("t");
+        let a = b.user("Alice");
+        let b2 = b.user("@alice");
+        assert_eq!(a, b2);
+        assert_eq!(b.user("bob").idx(), 1);
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        let err = parse_tsv("demo", "").unwrap_err();
+        assert!(err.reason.contains("no records"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic geo-tagged social-media generator.
+//!
+//! The paper evaluates on UTGEO2011, TWEET (Los Angeles tweets), and 4SQ
+//! (New York Foursquare check-ins). None of these can be redistributed, so
+//! this module generates corpora from an explicit latent-variable world
+//! model whose structure matches everything ACTOR exploits:
+//!
+//! * **Activities** — each latent activity owns a spatial Gaussian (a
+//!   future hotspot), a wrapped-Gaussian time-of-day peak, and a keyword
+//!   multinomial built from a themed word list plus venue tokens plus
+//!   polysemous words shared across activities (the word-sense-
+//!   disambiguation challenge of §1).
+//! * **Communities** — users belong to communities with a sparse
+//!   preference over activities; mentions happen inside communities, so the
+//!   user interaction graph carries activity information *across* records
+//!   (the inter-record high-order signal of Fig. 1).
+//! * **Crossover mentions** — a fraction of mention records take their
+//!   *text* from the mentioned user's favourite activity while keeping the
+//!   author's location/time, reproducing the exact information flow
+//!   `text → user → user → (location, time)` the paper motivates.
+//!
+//! Three presets mirror the datasets of Table 1 at laptop scale.
+
+mod config;
+mod generate;
+mod themes;
+mod world;
+
+pub use config::{DatasetPreset, SynthConfig};
+pub use generate::{generate, GroundTruth, EPOCH_BASE};
+pub use themes::{Theme, POLYSEMOUS, THEMES};
+pub use world::{Activity, Community, UserProfile, World};

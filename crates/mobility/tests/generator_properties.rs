@@ -1,0 +1,56 @@
+//! Property tests over the synthetic generator: every sampled
+//! configuration produces a structurally valid corpus.
+
+use mobility::synth::{generate, DatasetPreset};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn generated_corpora_are_structurally_valid(
+        seed in 0u64..1_000,
+        preset_idx in 0usize..3,
+        mention_rate in 0.0f64..0.5,
+        sparse in 0.0f64..0.9,
+        uniform_time in 0.0f64..1.0,
+        clusters in 1usize..5,
+    ) {
+        let mut cfg = DatasetPreset::ALL[preset_idx].small_config(seed);
+        cfg.n_records = 400;
+        cfg.mention_rate = mention_rate;
+        cfg.sparse_record_fraction = sparse;
+        cfg.uniform_time_fraction = uniform_time;
+        cfg.clusters_per_activity = clusters;
+        let (corpus, gt) = generate(cfg.clone()).expect("valid config generates");
+
+        prop_assert_eq!(corpus.len(), 400);
+        prop_assert_eq!(gt.location_activity.len(), 400);
+        let (lat0, lon0, lat1, lon1) = cfg.bbox;
+        for r in corpus.records() {
+            // At least one keyword; all ids valid (Corpus::new validated).
+            prop_assert!(!r.keywords.is_empty());
+            // Mentions never self-reference.
+            prop_assert!(r.mentions.iter().all(|&m| m != r.user));
+            // Locations stay within a few sigma of the city box.
+            let slack = 6.0 * cfg.spatial_sd_deg;
+            prop_assert!(r.location.lat > lat0 - slack && r.location.lat < lat1 + slack);
+            prop_assert!(r.location.lon > lon0 - slack && r.location.lon < lon1 + slack);
+            // Timestamps inside the configured day range.
+            let day = (r.timestamp - mobility::synth::EPOCH_BASE) / mobility::SECONDS_PER_DAY;
+            prop_assert!((0..cfg.n_days as i64 + 1).contains(&day));
+        }
+        // Ground-truth activities reference real activities.
+        for (&l, &t) in gt.location_activity.iter().zip(&gt.text_activity) {
+            prop_assert!(l < cfg.n_activities);
+            prop_assert!(t < cfg.n_activities);
+        }
+        // Crossover only possible when mentions exist.
+        if mention_rate == 0.0 {
+            prop_assert!(gt.crossover_records().is_empty());
+        }
+        // Mention rate tracks the configuration (loose bound: small n).
+        let measured = corpus.stats().mention_rate();
+        prop_assert!((measured - mention_rate).abs() < 0.12,
+            "configured {mention_rate}, measured {measured}");
+    }
+}

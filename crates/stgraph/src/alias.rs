@@ -1,0 +1,167 @@
+//! Walker alias method for O(1) sampling from discrete distributions.
+//!
+//! The paper samples edges proportionally to their weights millions of
+//! times per epoch; alias tables make each draw constant-time (\[44\], §5.2.3).
+
+use rand::Rng;
+
+/// A Walker alias table over `n` outcomes.
+///
+/// ```
+/// use stgraph::AliasTable;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let heavy = (0..10_000).filter(|_| table.sample(&mut rng) == 1).count();
+/// assert!((heavy as f64 / 10_000.0 - 0.75).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table in O(n). Returns `None` when no weight is positive
+    /// or any weight is negative/NaN.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if w.is_nan() || w < 0.0 {
+                return None;
+            }
+            total += w;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        // Normalize to mean 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Move the excess of l to cover s's deficit.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: saturate.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no outcomes (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an outcome in O(1).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_degenerate_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0]).is_none());
+        assert!(AliasTable::new(&[-1.0, 2.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 4]).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0, 0.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[4], 0, "zero-weight outcome drawn");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate().take(4) {
+            let f = counts[i] as f64 / n as f64;
+            assert!((f - w / total).abs() < 0.01, "outcome {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn huge_dynamic_range_is_stable() {
+        let weights = [1e-12, 1.0, 1e12];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        // Essentially all mass on the heavy outcome.
+        assert!(counts[2] > 49_900, "{counts:?}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Train once, save the model, reload it elsewhere, and verify the
+//! reloaded model answers queries identically — the deployment story.
+//!
+//! Run: `cargo run --example train_save_load --release`
+
+use actor_st::core::TrainedModel;
+use actor_st::prelude::*;
+
+fn main() {
+    println!("generating data and fitting ACTOR ...");
+    let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(123)).expect("valid preset");
+    let split = CorpusSplit::new(&corpus, SplitSpec::default()).expect("valid split");
+    let mut config = ActorConfig::fast();
+    config.threads = 2;
+    let (model, _) = fit(&corpus, &split.train, &config).expect("fit succeeds");
+
+    // Save to a single self-contained buffer (and to disk).
+    let buffer = model.save_bincode_like();
+    let path = std::env::temp_dir().join("actor_model.bin");
+    std::fs::write(&path, &buffer).expect("write model file");
+    println!(
+        "saved {} nodes x {} dims -> {} ({} KiB)",
+        model.space().len(),
+        model.store().dim(),
+        path.display(),
+        buffer.len() / 1024
+    );
+
+    // Reload from disk.
+    let bytes = std::fs::read(&path).expect("read model file");
+    let loaded =
+        TrainedModel::load_bincode_like(bytes::Bytes::from(bytes)).expect("valid model file");
+    println!("reloaded; verifying equivalence ...");
+
+    // Identical predictions on held-out records.
+    let mut checked = 0;
+    for &rid in split.test.iter().take(50) {
+        let r = corpus.record(rid);
+        let a = model.score_location(r.timestamp, &r.keywords, r.location);
+        let b = loaded.score_location(r.timestamp, &r.keywords, r.location);
+        assert_eq!(a, b, "prediction drift after reload");
+        checked += 1;
+    }
+    println!("  {checked} predictions identical");
+
+    // Identical neighbor searches.
+    if let Some(kw) = corpus.vocab().get("coffee") {
+        let q = model.vector(model.word_node(kw)).to_vec();
+        let before = model.nearest_words(&q, 5);
+        let after = loaded.nearest_words(&q, 5);
+        assert_eq!(before, after, "neighbor drift after reload");
+        println!("  top-5 neighbors of 'coffee' identical:");
+        for (w, s) in before {
+            println!("    {w:<20} {s:.3}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    println!("done.");
+}

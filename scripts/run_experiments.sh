@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# ablations, writing one log per experiment under results/.
+#
+# Usage: scripts/run_experiments.sh [--fast] [--threads N] [--runs N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+mkdir -p results
+
+cargo build --release -p actor-bench --bins
+
+run() {
+    local name="$1"
+    echo "== $name =="
+    cargo run --release -q -p actor-bench --bin "$name" -- "${ARGS[@]}" \
+        | tee "results/$name.txt"
+}
+
+run table1
+run table2
+run table4
+run case_studies
+run fig9_11_neighbors
+run fig12_scalability
+run design_ablations
+run inter_diagnostics
+run wsd_analysis
+run significance
+run export_embeddings
+
+echo "== criterion microbenches =="
+cargo bench -p actor-bench | tee results/microbench.txt
+
+echo "All experiment outputs are under results/."

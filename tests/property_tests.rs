@@ -1,0 +1,149 @@
+//! Property-based tests over the core data structures and invariants.
+
+use actor_st::embed::math::{cosine, mean_of, sum_of};
+use actor_st::eval::{mean_reciprocal_rank, reciprocal_rank};
+use actor_st::hotspot::space::{Circular1D, Space};
+use actor_st::mobility::rng::Categorical;
+use actor_st::stgraph::adjacency::{Csr, Edge};
+use actor_st::stgraph::{AliasTable, NodeId};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    /// The alias sampler's empirical distribution tracks the weights.
+    #[test]
+    fn alias_matches_weights(weights in prop::collection::vec(0.0f64..10.0, 2..20), seed in 0u64..1000) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 0.1);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let got = counts[i] as f64 / n as f64;
+            prop_assert!((got - expected).abs() < 0.05,
+                "outcome {i}: got {got}, expected {expected}");
+        }
+    }
+
+    /// CSR round-trips the edge list: every edge appears in both rows
+    /// with its weight, and total degree is 2|E|.
+    #[test]
+    fn csr_round_trip(raw in prop::collection::vec((0u32..30, 0u32..30, 0.1f64..5.0), 0..60)) {
+        // Dedup pairs to keep expectations simple.
+        let mut seen = std::collections::HashSet::new();
+        let edges: Vec<Edge> = raw.into_iter()
+            .filter(|&(a, b, _)| a != b && seen.insert((a.min(b), a.max(b))))
+            .map(|(a, b, w)| Edge { a: NodeId(a), b: NodeId(b), weight: w })
+            .collect();
+        let csr = Csr::build(30, &edges);
+        let mut total_degree = 0usize;
+        for i in 0..30 {
+            total_degree += csr.degree(NodeId(i));
+        }
+        prop_assert_eq!(total_degree, 2 * edges.len());
+        for e in &edges {
+            let (na, wa) = csr.row(e.a);
+            let pos = na.iter().position(|&n| n == e.b).expect("neighbor present");
+            prop_assert_eq!(wa[pos], e.weight);
+            let (nb, wb) = csr.row(e.b);
+            let pos = nb.iter().position(|&n| n == e.a).expect("reverse neighbor present");
+            prop_assert_eq!(wb[pos], e.weight);
+        }
+    }
+
+    /// Circular distance is a metric on the circle (symmetry, bounds,
+    /// triangle inequality).
+    #[test]
+    fn circular_distance_is_a_metric(a in 0.0f64..86400.0, b in 0.0f64..86400.0, c in 0.0f64..86400.0) {
+        let circle = Circular1D::new(86400.0);
+        let dab = circle.dist(a, b);
+        let dba = circle.dist(b, a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!((0.0..=43200.0 + 1e-9).contains(&dab));
+        prop_assert!(circle.dist(a, a) < 1e-9);
+        let dac = circle.dist(a, c);
+        let dcb = circle.dist(c, b);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+
+    /// Reciprocal rank is in (0, 1] and 1 iff the truth strictly wins.
+    #[test]
+    fn reciprocal_rank_bounds(scores in prop::collection::vec(-1.0f64..1.0, 1..12), gt in 0usize..12) {
+        prop_assume!(gt < scores.len());
+        let rr = reciprocal_rank(&scores, gt);
+        prop_assert!(rr > 0.0 && rr <= 1.0);
+        let strictly_best = scores.iter().enumerate()
+            .all(|(i, &s)| i == gt || s < scores[gt]);
+        prop_assert_eq!(rr == 1.0, strictly_best);
+        let mrr = mean_reciprocal_rank(&[rr]);
+        prop_assert_eq!(mrr, rr);
+    }
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounds(a in prop::collection::vec(-10.0f32..10.0, 8), b in prop::collection::vec(-10.0f32..10.0, 8)) {
+        let c1 = cosine(&a, &b);
+        let c2 = cosine(&b, &a);
+        prop_assert!((c1 - c2).abs() < 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c1));
+    }
+
+    /// mean_of is sum_of scaled by 1/n.
+    #[test]
+    fn mean_is_scaled_sum(vectors in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 4), 1..6)) {
+        let refs: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let sum = sum_of(&refs, 4);
+        let mean = mean_of(&refs, 4);
+        for i in 0..4 {
+            prop_assert!((mean[i] - sum[i] / vectors.len() as f32).abs() < 1e-5);
+        }
+    }
+
+    /// Categorical sampling never returns zero-weight outcomes.
+    #[test]
+    fn categorical_never_draws_zero_weight(
+        positives in prop::collection::vec(0.1f64..5.0, 1..8),
+        zero_at in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut weights = positives.clone();
+        let idx = zero_at % weights.len();
+        // Add one explicit zero-weight outcome.
+        weights.insert(idx, 0.0);
+        let cat = Categorical::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            prop_assert_ne!(cat.sample(&mut rng), idx);
+        }
+    }
+}
+
+/// Mean-shift modes are stable: re-seeking from a detected spatial
+/// hotspot center stays at that center.
+#[test]
+fn meanshift_modes_are_fixed_points() {
+    use actor_st::hotspot::{MeanShiftParams, SpatialHotspots};
+    use actor_st::mobility::rng::normal;
+    use actor_st::prelude::GeoPoint;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut pts = Vec::new();
+    for c in [(0.0, 0.0), (1.0, 1.0)] {
+        for _ in 0..300 {
+            pts.push(GeoPoint::new(
+                normal(&mut rng, c.0, 0.02),
+                normal(&mut rng, c.1, 0.02),
+            ));
+        }
+    }
+    let hs = SpatialHotspots::detect(&pts, MeanShiftParams::with_bandwidth(0.1), 5);
+    for (i, &center) in hs.centers().iter().enumerate() {
+        // The assignment of a center is itself.
+        assert_eq!(hs.assign(center).idx(), i);
+    }
+}
