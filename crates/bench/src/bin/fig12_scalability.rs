@@ -8,7 +8,7 @@
 //! Run: `cargo run -p actor-bench --bin fig12_scalability --release [-- --fast]`
 
 use actor_core::ActorConfig;
-use benchkit::{dataset, Flags, ZooConfig};
+use benchkit::{dataset, Flags, ObsScope, ZooConfig};
 use evalkit::report::Table;
 
 /// Fits ACTOR and returns the SGD-loop seconds (hotspots/graphs excluded,
@@ -19,6 +19,7 @@ fn train_seconds(corpus: &mobility::Corpus, train: &[mobility::RecordId], cfg: &
 }
 
 fn main() {
+    let _obs = ObsScope::start("fig12_scalability");
     let flags = Flags::from_env();
     println!("== Fig. 12: scalability of ACTOR on synth-tweet ==\n");
 

@@ -6,11 +6,12 @@
 
 use actor_core::ActorConfig;
 use baselines::Substrate;
-use benchkit::{dataset, paper, Flags};
+use benchkit::{dataset, paper, Flags, ObsScope};
 use evalkit::report::Table;
 use mobility::synth::DatasetPreset;
 
 fn main() {
+    let _obs = ObsScope::start("table1");
     let flags = Flags::from_env();
     println!("== Table 1: statistics of datasets (synthetic presets) ==\n");
 

@@ -7,9 +7,11 @@
 
 pub mod datasets;
 pub mod flags;
+pub mod obs_scope;
 pub mod paper;
 pub mod zoo;
 
 pub use datasets::{dataset, Dataset};
 pub use flags::Flags;
+pub use obs_scope::ObsScope;
 pub use zoo::{train_zoo, ZooConfig, ZooModel};

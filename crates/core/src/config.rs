@@ -3,6 +3,8 @@
 use embed::SgdParams;
 use serde::{Deserialize, Serialize};
 
+use crate::error::ConfigError;
+
 /// Full configuration of the ACTOR pipeline.
 ///
 /// Defaults follow §6.1.3 (`η = 0.02`, `K = 1`, `m = 256`,
@@ -115,35 +117,44 @@ impl ActorConfig {
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.dim == 0 {
-            return Err("dim must be positive".into());
+            return Err(ConfigError::ZeroDim);
         }
         if self.learning_rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err("learning rate must be positive".into());
+            return Err(ConfigError::NonPositiveLearningRate {
+                got: self.learning_rate,
+            });
         }
         if self.batch_size == 0 || self.max_epochs == 0 || self.batches_per_type == 0 {
-            return Err("batching parameters must be positive".into());
+            return Err(ConfigError::ZeroBatching);
         }
         if self.threads == 0 {
-            return Err("threads must be positive".into());
+            return Err(ConfigError::ZeroThreads);
         }
         if self.spatial_bandwidth.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
             || self.temporal_bandwidth.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
         {
-            return Err("bandwidths must be positive".into());
+            return Err(ConfigError::NonPositiveBandwidth {
+                spatial: self.spatial_bandwidth,
+                temporal: self.temporal_bandwidth,
+            });
         }
         if self.temporal_period.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err("temporal period must be positive".into());
+            return Err(ConfigError::NonPositivePeriod {
+                got: self.temporal_period,
+            });
         }
         if self.temporal_bandwidth * 2.0 >= self.temporal_period {
-            return Err("temporal bandwidth must be well below the period".into());
+            return Err(ConfigError::BandwidthExceedsPeriod {
+                bandwidth: self.temporal_bandwidth,
+                period: self.temporal_period,
+            });
         }
         if !(0.0..=2.0).contains(&self.negative_power) {
-            return Err(format!(
-                "negative_power must be in [0, 2], got {}",
-                self.negative_power
-            ));
+            return Err(ConfigError::NegativePowerOutOfRange {
+                got: self.negative_power,
+            });
         }
         Ok(())
     }
@@ -177,6 +188,30 @@ mod tests {
             ..ActorConfig::default()
         };
         assert_eq!(c.samples_per_type(), 210);
+    }
+
+    #[test]
+    fn validate_reports_typed_variants() {
+        let c = ActorConfig {
+            // circular kernel wraps
+            temporal_bandwidth: ActorConfig::default().temporal_period,
+            ..ActorConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BandwidthExceedsPeriod {
+                bandwidth: c.temporal_bandwidth,
+                period: c.temporal_period,
+            })
+        );
+        let c = ActorConfig {
+            negative_power: 2.5,
+            ..ActorConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NegativePowerOutOfRange { got: 2.5 })
+        );
     }
 
     #[test]

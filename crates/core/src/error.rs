@@ -1,0 +1,133 @@
+//! Pipeline error types.
+//!
+//! Hand-rolled enums (the workspace carries no `thiserror`): each variant
+//! captures the offending values so callers can report or branch without
+//! parsing strings.
+
+use std::fmt;
+
+/// A rejected [`crate::ActorConfig`] (see [`crate::ActorConfig::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `dim == 0`.
+    ZeroDim,
+    /// `learning_rate` is zero, negative, or NaN.
+    NonPositiveLearningRate {
+        /// The rejected rate.
+        got: f32,
+    },
+    /// One of `batch_size`, `max_epochs`, `batches_per_type` is zero.
+    ZeroBatching,
+    /// `threads == 0`.
+    ZeroThreads,
+    /// A mean-shift bandwidth is zero, negative, or NaN.
+    NonPositiveBandwidth {
+        /// Spatial bandwidth, degrees.
+        spatial: f64,
+        /// Temporal bandwidth, seconds.
+        temporal: f64,
+    },
+    /// `temporal_period` is zero, negative, or NaN.
+    NonPositivePeriod {
+        /// The rejected period.
+        got: f64,
+    },
+    /// `2·temporal_bandwidth >= temporal_period`: the circular kernel
+    /// would wrap onto itself and every record lands in one hotspot.
+    BandwidthExceedsPeriod {
+        /// Temporal bandwidth, seconds.
+        bandwidth: f64,
+        /// Circular period, seconds.
+        period: f64,
+    },
+    /// `negative_power` outside `[0, 2]`.
+    NegativePowerOutOfRange {
+        /// The rejected exponent.
+        got: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroDim => write!(f, "dim must be positive"),
+            Self::NonPositiveLearningRate { got } => {
+                write!(f, "learning rate must be positive, got {got}")
+            }
+            Self::ZeroBatching => write!(f, "batching parameters must be positive"),
+            Self::ZeroThreads => write!(f, "threads must be positive"),
+            Self::NonPositiveBandwidth { spatial, temporal } => write!(
+                f,
+                "bandwidths must be positive, got spatial {spatial} / temporal {temporal}"
+            ),
+            Self::NonPositivePeriod { got } => {
+                write!(f, "temporal period must be positive, got {got}")
+            }
+            Self::BandwidthExceedsPeriod { bandwidth, period } => write!(
+                f,
+                "temporal bandwidth {bandwidth} must be well below the period {period}"
+            ),
+            Self::NegativePowerOutOfRange { got } => {
+                write!(f, "negative_power must be in [0, 2], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A failed [`crate::fit`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The configuration failed validation before anything ran.
+    Config(ConfigError),
+    /// The training split has no records.
+    EmptyTrainingSplit,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid config: {e}"),
+            Self::EmptyTrainingSplit => write!(f, "training split is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::EmptyTrainingSplit => None,
+        }
+    }
+}
+
+impl From<ConfigError> for FitError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_names_the_offending_value() {
+        let e = ConfigError::NegativePowerOutOfRange { got: 3.5 };
+        assert_eq!(e.to_string(), "negative_power must be in [0, 2], got 3.5");
+        let e = ConfigError::NonPositiveLearningRate { got: -0.1 };
+        assert!(e.to_string().contains("-0.1"));
+    }
+
+    #[test]
+    fn fit_error_chains_to_config_error() {
+        let e = FitError::from(ConfigError::ZeroDim);
+        assert_eq!(e.to_string(), "invalid config: dim must be positive");
+        let source = e.source().expect("config source");
+        assert_eq!(source.to_string(), "dim must be positive");
+        assert!(FitError::EmptyTrainingSplit.source().is_none());
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod ablation;
 pub mod config;
+pub mod error;
 pub mod model;
 pub mod online;
 pub mod persist;
@@ -28,6 +29,7 @@ pub mod pipeline;
 
 pub use ablation::Variant;
 pub use config::ActorConfig;
+pub use error::{ConfigError, FitError};
 pub use model::TrainedModel;
 pub use online::{OnlineActor, OnlineParams};
 pub use persist::ModelMeta;

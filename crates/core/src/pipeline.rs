@@ -1,7 +1,6 @@
 //! The end-to-end ACTOR fitting pipeline (Algorithm 1).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use embed::hogwild;
 use embed::{EmbeddingStore, LineOrder, LineParams, LineTrainer, NegativeSamplingUpdate};
@@ -16,9 +15,17 @@ use stgraph::{
 };
 
 use crate::config::ActorConfig;
+use crate::error::FitError;
 use crate::model::TrainedModel;
 
 /// Diagnostics emitted by [`fit`].
+///
+/// The structural counts and stage timings are a convenience view over
+/// the run's [`obs`] telemetry: timings come from the `core.fit.*` spans
+/// and the full span tree / counter set rides along in
+/// [`FitReport::telemetry`] (render it with
+/// [`obs::RunTelemetry::render_tree`] or serialize it with
+/// [`obs::RunTelemetry::to_json`]).
 #[derive(Debug, Clone)]
 pub struct FitReport {
     /// Detected spatial hotspots.
@@ -41,21 +48,32 @@ pub struct FitReport {
     pub loss_trace: Vec<f64>,
     /// Total wall-clock seconds of the whole fit.
     pub total_seconds: f64,
+    /// Everything the telemetry registry recorded during this fit:
+    /// the nested `core.fit.*` span tree plus the counters and histograms
+    /// flushed by the lower layers (hotspot, stgraph, embed).
+    pub telemetry: obs::RunTelemetry,
 }
 
 /// Fits ACTOR on the training split of `corpus`.
+///
+/// Each Algorithm-1 stage runs under an [`obs`] span (`core.fit.hotspot`,
+/// `.graph`, `.pretrain`, `.train` nested in `core.fit`), so a live
+/// [`obs::Reporter`] shows where a long fit currently is and the returned
+/// [`FitReport::telemetry`] carries the per-stage breakdown.
 pub fn fit(
     corpus: &Corpus,
     train_ids: &[RecordId],
     config: &ActorConfig,
-) -> Result<(TrainedModel, FitReport), String> {
+) -> Result<(TrainedModel, FitReport), FitError> {
     config.validate()?;
     if train_ids.is_empty() {
-        return Err("training split is empty".into());
+        return Err(FitError::EmptyTrainingSplit);
     }
-    let t_start = Instant::now();
+    let baseline = obs::snapshot();
+    let fit_span = obs::span!("core.fit");
 
     // Line 1: hotspot detection.
+    let hotspot_span = obs::span!("core.fit.hotspot");
     let points: Vec<GeoPoint> = train_ids
         .iter()
         .map(|&id| corpus.record(id).location)
@@ -75,8 +93,10 @@ pub fn fit(
         MeanShiftParams::with_bandwidth(config.temporal_bandwidth),
         config.min_hotspot_support,
     );
+    hotspot_span.finish();
 
     // Line 2: graph construction.
+    let graph_span = obs::span!("core.fit.graph");
     let builder = ActivityGraphBuilder::new(
         corpus,
         &spatial,
@@ -89,8 +109,10 @@ pub fn fit(
     let (graph, units) = builder.build(train_ids);
     let user_graph = UserGraph::build(corpus, train_ids);
     let space = *graph.space();
+    graph_span.finish();
 
     // Line 3: pre-train the user layer with LINE (second order).
+    let pretrain_span = obs::span!("core.fit.pretrain");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut store = EmbeddingStore::init(space.len(), config.dim, &mut rng);
     let mut pretrained = false;
@@ -151,6 +173,7 @@ pub fn fit(
             }
         }
     }
+    pretrain_span.finish();
 
     // Samplers for lines 5–11.
     let mut edge_samplers: HashMap<EdgeType, EdgeSampler> = HashMap::new();
@@ -167,7 +190,7 @@ pub fn fit(
         }
     }
 
-    let t_train = Instant::now();
+    let train_span = obs::span!("core.fit.train");
     let loss_trace = train_loop(
         &store,
         &graph,
@@ -176,7 +199,8 @@ pub fn fit(
         &neg_tables,
         config,
     );
-    let train_seconds = t_train.elapsed().as_secs_f64();
+    let train_seconds = train_span.finish().as_secs_f64();
+    let total_seconds = fit_span.finish().as_secs_f64();
 
     let report = FitReport {
         n_spatial: spatial.len(),
@@ -187,7 +211,8 @@ pub fn fit(
         pretrained,
         train_seconds,
         loss_trace,
-        total_seconds: t_start.elapsed().as_secs_f64(),
+        total_seconds,
+        telemetry: obs::RunTelemetry::since(&baseline),
     };
     let model = TrainedModel {
         store,
@@ -222,6 +247,9 @@ fn train_loop(
     const TRACE_BUCKETS: usize = 20;
     // (loss sum, update count) per progress bucket, merged across threads.
     let trace = parking_lot::Mutex::new(vec![(0.0f64, 0u64); TRACE_BUCKETS]);
+    // Live-throughput counter, flushed once per round (~7m updates) so the
+    // SGD hot path never touches shared state.
+    let updates_done = obs::counter("core.train.updates");
     let rounds = (config.max_epochs * config.batches_per_type) as u64;
     let m = config.batch_size;
 
@@ -301,6 +329,7 @@ fn train_loop(
             }
             local[bucket].0 += round_loss;
             local[bucket].1 += round_updates;
+            updates_done.add(round_updates);
         }
         let mut merged = trace.lock();
         for (m, l) in merged.iter_mut().zip(&local) {
@@ -460,7 +489,60 @@ mod tests {
     #[test]
     fn fit_rejects_empty_training_split() {
         let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(2)).unwrap();
-        assert!(fit(&corpus, &[], &ActorConfig::fast()).is_err());
+        let Err(err) = fit(&corpus, &[], &ActorConfig::fast()) else {
+            panic!("empty split accepted");
+        };
+        assert_eq!(err, FitError::EmptyTrainingSplit);
+    }
+
+    #[test]
+    fn fit_rejects_invalid_config_with_typed_error() {
+        let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(2)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let mut config = ActorConfig::fast();
+        config.dim = 0;
+        let Err(err) = fit(&corpus, &split.train, &config) else {
+            panic!("invalid config accepted");
+        };
+        assert_eq!(err, FitError::Config(crate::error::ConfigError::ZeroDim));
+    }
+
+    #[test]
+    fn fit_report_exposes_stage_telemetry() {
+        let (_, report) = fit_small(21, |_| {});
+        let stage = |name: &str| {
+            report
+                .telemetry
+                .spans
+                .iter()
+                .find(|s| s.name == "core.fit")
+                .and_then(|root| root.children.iter().find(|c| c.name == name).cloned())
+                .unwrap_or_else(|| panic!("span core.fit>{name} missing: {:?}", report.telemetry.spans))
+        };
+        // Every Algorithm-1 stage ran under the root span (counts can
+        // exceed 1 when sibling tests fit concurrently — the registry is
+        // process-global).
+        for name in ["core.fit.hotspot", "core.fit.graph", "core.fit.pretrain", "core.fit.train"] {
+            assert!(stage(name).count >= 1, "{name}");
+        }
+        // FitReport's timing fields are views over the same spans.
+        let train = stage("core.fit.train");
+        assert!(train.seconds + 0.05 >= report.train_seconds);
+        assert!(report.total_seconds >= report.train_seconds);
+        // The lower layers flushed their counters into the same capture.
+        let counter = |name: &str| {
+            report
+                .telemetry
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert!(counter("stgraph.records") > 0, "{:?}", report.telemetry.counters);
+        assert!(counter("hotspot.meanshift.seeds") > 0);
+        assert!(counter("core.train.updates") > 0);
+        assert!(counter("embed.sgd.steps") >= counter("core.train.updates"));
     }
 
     #[test]

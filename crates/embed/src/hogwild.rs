@@ -14,6 +14,22 @@ use rand::{rngs::StdRng, SeedableRng};
 /// sample. Single-threaded runs are exactly reproducible per seed;
 /// multi-threaded runs race benignly on the embedding matrices (by
 /// design — see the Hogwild contract in [`crate::store::Matrix`]).
+///
+/// # Contract: fewer samples than threads
+///
+/// When `total_samples < n_threads`, every thread is still spawned and
+/// `work` is still invoked once per thread: the first `total_samples`
+/// threads receive a shard of 1 and the rest receive a shard of **0**.
+/// Closures must therefore tolerate `n_samples == 0` (an empty loop is the
+/// expected handling). This keeps thread-id–derived RNG streams stable
+/// across sample budgets, which the reproducibility tests rely on.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`, or if any worker closure panics — the panic
+/// is re-raised on the calling thread with a message naming the worker
+/// (e.g. ``hogwild worker thread 3 of 8 panicked``) so a poisoned training
+/// run is attributable to its shard.
 pub fn run<W>(n_threads: usize, total_samples: u64, seed: u64, work: W)
 where
     W: Fn(usize, &mut StdRng, u64) + Sync,
@@ -21,29 +37,62 @@ where
     assert!(n_threads > 0, "need at least one thread");
     let base = total_samples / n_threads as u64;
     let extra = (total_samples % n_threads as u64) as usize;
+    debug_assert!(
+        total_samples >= n_threads as u64 || base == 0,
+        "shard math: with {total_samples} samples over {n_threads} threads \
+         every shard is {base} or {}",
+        base + 1
+    );
     if n_threads == 1 {
         let mut rng = StdRng::seed_from_u64(seed);
         work(0, &mut rng, total_samples);
         return;
     }
-    crossbeam::thread::scope(|s| {
+    let threads = obs::counter("embed.hogwild.threads");
+    // Worker panics are caught per thread and re-raised here with the
+    // worker's id, so a poisoned training run names its shard instead of
+    // dying with crossbeam's anonymous payload.
+    let failures: std::sync::Mutex<Vec<(usize, String)>> = std::sync::Mutex::new(Vec::new());
+    let result = crossbeam::thread::scope(|s| {
         for t in 0..n_threads {
             let work = &work;
+            let threads = threads.clone();
+            let failures = &failures;
             let shard = base + u64::from(t < extra);
             s.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-                    .wrapping_mul(t as u64 + 1)));
-                work(t, &mut rng, shard);
+                threads.incr();
+                let run_shard = std::panic::AssertUnwindSafe(|| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+                        .wrapping_mul(t as u64 + 1)));
+                    work(t, &mut rng, shard);
+                });
+                if let Err(payload) = std::panic::catch_unwind(run_shard) {
+                    let detail = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                        .unwrap_or("<non-string panic payload>")
+                        .to_string();
+                    failures.lock().unwrap().push((t, detail));
+                }
             });
         }
-    })
-    .expect("hogwild worker panicked");
+    });
+    // Scope-level failure without a recorded worker panic would mean the
+    // spawn machinery itself failed; surface it rather than swallowing.
+    result.expect("hogwild scope failed outside worker closures");
+    let mut failures = failures.into_inner().unwrap();
+    if !failures.is_empty() {
+        failures.sort_unstable_by_key(|(t, _)| *t);
+        let (t, detail) = &failures[0];
+        panic!("hogwild worker thread {t} of {n_threads} panicked: {detail}");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn shards_cover_total() {
@@ -65,6 +114,34 @@ mod tests {
     }
 
     #[test]
+    fn fewer_samples_than_threads_gives_empty_shards() {
+        // 3 samples over 8 threads: every thread still runs, shards are
+        // 1,1,1,0,0,0,0,0 (see the contract in the `run` docs).
+        let calls = AtomicUsize::new(0);
+        let total = AtomicU64::new(0);
+        let zero_shards = AtomicUsize::new(0);
+        run(8, 3, 5, |_, _, n| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            total.fetch_add(n, Ordering::Relaxed);
+            if n == 0 {
+                zero_shards.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+        assert_eq!(total.load(Ordering::Relaxed), 3);
+        assert_eq!(zero_shards.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn zero_samples_is_a_no_op_per_thread() {
+        let total = AtomicU64::new(0);
+        run(4, 0, 9, |_, _, n| {
+            total.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn thread_rngs_differ() {
         use rand::Rng;
         let draws = std::sync::Mutex::new(Vec::new());
@@ -81,5 +158,23 @@ mod tests {
     #[should_panic]
     fn zero_threads_rejected() {
         run(0, 10, 0, |_, _, _| {});
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_with_context() {
+        let result = std::panic::catch_unwind(|| {
+            run(4, 100, 1, |t, _, _| {
+                if t == 2 {
+                    panic!("shard 2 corrupt");
+                }
+            });
+        });
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("hogwild worker thread 2 of 4 panicked"), "{msg}");
+        assert!(msg.contains("shard 2 corrupt"), "{msg}");
     }
 }

@@ -134,15 +134,23 @@ impl LineTrainer {
     /// Trains into an existing store (used by the scalability bench to
     /// reuse allocations and by ACTOR's pre-initialized stores).
     pub fn train_into(&self, store: &EmbeddingStore, params: LineParams) {
+        let _span = obs::span!("embed.line.train");
+        let samples_done = obs::counter("embed.line.samples");
         hogwild::run(params.threads, params.samples, params.seed, |_, rng, n| {
             let mut upd = NegativeSamplingUpdate::new(params.dim, params.sgd);
             let lr0 = params.sgd.learning_rate;
+            let mut flushed = 0u64;
             for i in 0..n {
                 // Linear annealing to 10% of the initial rate (LINE's
-                // schedule), tracked per thread.
+                // schedule), tracked per thread. The same cadence batches
+                // the live-progress counter flush.
                 if n > 0 && i % 1024 == 0 {
                     let progress = i as f32 / n as f32;
                     upd.set_learning_rate(lr0 * (1.0 - 0.9 * progress));
+                    if i > 0 {
+                        samples_done.add(1024);
+                        flushed += 1024;
+                    }
                 }
                 let (mut a, mut b) = self.edges[self.edge_alias.sample(rng)];
                 if rng.random::<bool>() {
@@ -167,6 +175,7 @@ impl LineTrainer {
                     }
                 }
             }
+            samples_done.add(n - flushed);
         });
     }
 }

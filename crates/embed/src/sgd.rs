@@ -32,6 +32,18 @@ pub struct NegativeSamplingUpdate {
     sigmoid: SigmoidTable,
     grad: Vec<f32>,
     params: SgdParams,
+    /// Steps taken since the last flush to the `embed.sgd.steps` counter;
+    /// batched so the hot loop touches no shared state.
+    steps_pending: u64,
+}
+
+/// Flush cadence for the step counter: rare enough to stay off the SGD
+/// profile, frequent enough for live throughput reporting.
+const STEP_FLUSH: u64 = 4096;
+
+thread_local! {
+    /// Per-thread handle so flushing skips the registry lock.
+    static SGD_STEPS: obs::Counter = obs::counter("embed.sgd.steps");
 }
 
 impl NegativeSamplingUpdate {
@@ -41,6 +53,22 @@ impl NegativeSamplingUpdate {
             sigmoid: SigmoidTable::new(),
             grad: vec![0.0; dim],
             params,
+            steps_pending: 0,
+        }
+    }
+
+    #[inline]
+    fn note_step(&mut self) {
+        self.steps_pending += 1;
+        if self.steps_pending == STEP_FLUSH {
+            self.flush_steps();
+        }
+    }
+
+    fn flush_steps(&mut self) {
+        if self.steps_pending > 0 {
+            SGD_STEPS.with(|c| c.add(self.steps_pending));
+            self.steps_pending = 0;
         }
     }
 
@@ -78,6 +106,7 @@ impl NegativeSamplingUpdate {
         R: Rng + ?Sized,
         F: FnMut(&mut R) -> usize,
     {
+        self.note_step();
         let lr = self.params.learning_rate;
         self.grad.iter_mut().for_each(|g| *g = 0.0);
         let mut loss = 0.0f64;
@@ -134,6 +163,7 @@ impl NegativeSamplingUpdate {
         if bag.is_empty() {
             return 0.0;
         }
+        self.note_step();
         let dim = store.dim();
         let lr = self.params.learning_rate;
         self.grad.iter_mut().for_each(|g| *g = 0.0);
@@ -173,6 +203,12 @@ impl NegativeSamplingUpdate {
             crate::math::axpy(1.0, &self.grad, row);
         }
         loss
+    }
+}
+
+impl Drop for NegativeSamplingUpdate {
+    fn drop(&mut self) {
+        self.flush_steps();
     }
 }
 

@@ -51,6 +51,7 @@ impl SpatialHotspots {
     /// mode. `min_support` drops hotspots that attract fewer points.
     pub fn detect(points: &[GeoPoint], params: MeanShiftParams, min_support: usize) -> Self {
         assert!(!points.is_empty(), "cannot detect hotspots in empty data");
+        let _span = obs::span!("hotspot.spatial.detect");
         let window = Grid2D::build(points, params.bandwidth);
         let h = params.bandwidth;
         let neighbors = |q: GeoPoint, out: &mut Vec<GeoPoint>| {
@@ -72,6 +73,8 @@ impl SpatialHotspots {
             .collect();
         // Degenerate guard: keep at least the best-supported mode.
         let keep = if keep.is_empty() { vec![0] } else { keep };
+        obs::counter("hotspot.spatial.kept").add(keep.len() as u64);
+        obs::counter("hotspot.spatial.dropped").add((centers.len() - keep.len()) as u64);
         centers = keep.iter().map(|&i| centers[i]).collect();
 
         let index = Grid2D::build(&centers, params.bandwidth.max(1e-9));
@@ -169,6 +172,7 @@ impl TemporalHotspots {
     ) -> Self {
         assert!(!seconds.is_empty(), "cannot detect hotspots in empty data");
         assert!(period > 0.0, "period must be positive");
+        let _span = obs::span!("hotspot.temporal.detect");
         let circle = Circular1D::new(period);
         let mut sorted: Vec<f64> = seconds.iter().map(|&s| circle.wrap(s)).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite seconds"));
@@ -201,6 +205,8 @@ impl TemporalHotspots {
             .filter(|&i| keep_counts[i] >= min_support)
             .collect();
         let keep = if keep.is_empty() { vec![0] } else { keep };
+        obs::counter("hotspot.temporal.kept").add(keep.len() as u64);
+        obs::counter("hotspot.temporal.dropped").add((centers.len() - keep.len()) as u64);
         centers = keep.iter().map(|&i| centers[i]).collect();
         centers.sort_by(|a, b| a.partial_cmp(b).expect("finite centers"));
         keep_counts = assign_counts(&centers, &sorted, circle);

@@ -101,23 +101,32 @@ impl<S: Space> MeanShift<S> {
     where
         F: Fn(S::Point, &mut Vec<S::Point>),
     {
+        self.seek_mode_iters(start, neighbors).0
+    }
+
+    /// [`MeanShift::seek_mode`] plus the number of shift iterations spent,
+    /// so `run` can feed the convergence histogram without a second pass.
+    fn seek_mode_iters<F>(&self, start: S::Point, neighbors: &F) -> (S::Point, u64)
+    where
+        F: Fn(S::Point, &mut Vec<S::Point>),
+    {
         let mut y = start;
         let mut window = Vec::new();
-        for _ in 0..self.params.max_iters {
+        for iter in 0..self.params.max_iters {
             window.clear();
             neighbors(y, &mut window);
             if window.is_empty() {
                 // Isolated seed: it is its own mode.
-                return y;
+                return (y, iter as u64);
             }
             let next = self.space.local_mean(y, &window);
             let shift = self.space.dist(y, next);
             y = next;
             if shift < self.params.tolerance {
-                break;
+                return (y, iter as u64 + 1);
             }
         }
-        y
+        (y, self.params.max_iters as u64)
     }
 
     /// Runs mean-shift from (a stride of) `seeds` and merges converged
@@ -126,21 +135,31 @@ impl<S: Space> MeanShift<S> {
     where
         F: Fn(S::Point, &mut Vec<S::Point>),
     {
+        let iterations = obs::histogram("hotspot.meanshift.iterations");
+        let seeds_run = obs::counter("hotspot.meanshift.seeds");
+        let merged = obs::counter("hotspot.meanshift.modes_merged");
+
         let stride = (seeds.len() / self.params.max_seeds.max(1)).max(1);
         let mut modes: Vec<Mode<S::Point>> = Vec::new();
         for seed in seeds.iter().step_by(stride) {
-            let converged = self.seek_mode(*seed, &neighbors);
+            let (converged, iters) = self.seek_mode_iters(*seed, &neighbors);
+            iterations.record(iters);
+            seeds_run.incr();
             match modes
                 .iter_mut()
                 .find(|m| self.space.dist(m.point, converged) <= self.params.merge_radius)
             {
-                Some(m) => m.seeds += 1,
+                Some(m) => {
+                    m.seeds += 1;
+                    merged.incr();
+                }
                 None => modes.push(Mode {
                     point: converged,
                     seeds: 1,
                 }),
             }
         }
+        obs::counter("hotspot.meanshift.modes").add(modes.len() as u64);
         modes.sort_by_key(|m| std::cmp::Reverse(m.seeds));
         modes
     }

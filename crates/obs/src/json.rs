@@ -1,0 +1,63 @@
+//! Minimal JSON emission. The obs crate is dependency-free by design, so
+//! the handful of JSON shapes it emits (telemetry dumps and reporter
+//! snapshot lines) are written by hand here. Only emission — parsing lives
+//! with the consumers of the JSONL files.
+
+use std::fmt::Write;
+
+/// Appends `s` as a JSON string literal (quotes included) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` as a JSON number. Non-finite values (which valid
+/// telemetry never produces) are emitted as `null` rather than corrupting
+/// the document.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `"key":` to `out`.
+pub(crate) fn push_key(out: &mut String, key: &str) {
+    push_str_literal(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_literal(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_finite_or_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        s.push(' ');
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "1.500000 null");
+    }
+}

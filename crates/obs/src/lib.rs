@@ -1,0 +1,72 @@
+//! `actor-obs` — zero-dependency telemetry for the ACTOR pipeline.
+//!
+//! Three primitives, one global registry:
+//!
+//! * **Spans** — RAII guards timing a stage. Spans opened while another
+//!   span is open on the same thread nest under it, and closed spans
+//!   aggregate by nesting path into a stage tree:
+//!
+//!   ```
+//!   let _fit = obs::span!("core.fit");
+//!   {
+//!       let _stage = obs::span!("core.fit.hotspot");
+//!       // ... detect hotspots ...
+//!   } // recorded as core.fit > core.fit.hotspot
+//!   ```
+//!
+//! * **Counters & histograms** — lock-free cells safe to bump from the
+//!   Hogwild hot loop. Counters shard across cache lines per thread;
+//!   histograms use power-of-two buckets:
+//!
+//!   ```
+//!   let samples = obs::counter("embed.hogwild.samples");
+//!   samples.add(1024);
+//!   obs::histogram("hotspot.meanshift.iterations").record(17);
+//!   ```
+//!
+//! * **Live progress** — [`Reporter::from_env`] starts a background thread
+//!   when `ACTOR_OBS_INTERVAL_MS` is set, printing one stderr line per
+//!   tick (deepest open span + counter rates) and appending JSONL
+//!   snapshots when `ACTOR_OBS_JSON` names a file.
+//!
+//! At the end of a run, [`RunTelemetry`] freezes everything into a value
+//! that renders as a stage tree ([`RunTelemetry::render_tree`]) or
+//! serializes to JSON ([`RunTelemetry::to_json`]) for storage alongside
+//! results. See `docs/OBSERVABILITY.md` for naming conventions and the
+//! JSONL schema.
+//!
+//! The crate depends on the standard library alone so every other crate in
+//! the workspace can depend on it without cycles or build-cost concerns.
+
+mod json;
+mod metrics;
+mod registry;
+mod report;
+mod telemetry;
+
+pub use metrics::{Counter, CounterSnapshot, Histogram, HistogramSnapshot};
+pub use registry::{
+    counter, histogram, reset, snapshot, ActiveSpan, Snapshot, Span, SpanStat, PATH_SEP,
+};
+pub use report::{Reporter, ENV_INTERVAL, ENV_JSON};
+pub use telemetry::{RunTelemetry, SpanNode};
+
+/// Opens a [`Span`] named by the argument. Equivalent to [`span()`]; the
+/// macro form exists so call sites read as annotations:
+///
+/// ```
+/// let _guard = obs::span!("stgraph.build");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Opens a [`Span`]; it records itself when dropped. Prefer holding the
+/// guard in a `let` binding named for the reader (`_fit`, `_stage`), not
+/// `_`, which would drop it immediately.
+pub fn span(name: &str) -> Span {
+    registry::enter(name)
+}

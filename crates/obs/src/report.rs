@@ -1,0 +1,252 @@
+//! The live progress reporter: a background thread that snapshots the
+//! registry at a fixed interval and emits
+//!
+//! * one human-readable line per tick to stderr, showing the deepest open
+//!   span and the rate of every counter that moved, and
+//! * when a JSONL path is configured, one machine-readable snapshot object
+//!   per tick appended to that file (schema in `docs/OBSERVABILITY.md`).
+//!
+//! Controlled by two environment variables:
+//!
+//! * `ACTOR_OBS_INTERVAL_MS` — tick interval; unset or unparsable disables
+//!   the reporter entirely.
+//! * `ACTOR_OBS_JSON` — path to append JSONL snapshots to.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::{push_f64, push_key, push_str_literal};
+use crate::registry::{snapshot, Snapshot};
+use crate::telemetry::push_histogram;
+
+/// Environment variable selecting the reporting interval in milliseconds.
+pub const ENV_INTERVAL: &str = "ACTOR_OBS_INTERVAL_MS";
+/// Environment variable selecting the JSONL output path.
+pub const ENV_JSON: &str = "ACTOR_OBS_JSON";
+
+/// Handle to the running reporter thread; dropping it stops the thread
+/// after at most ~50 ms and flushes a final snapshot.
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Starts a reporter if [`ENV_INTERVAL`] is set to a positive integer;
+    /// returns `None` (no thread, zero cost) otherwise.
+    pub fn from_env() -> Option<Reporter> {
+        let interval_ms: u64 = std::env::var(ENV_INTERVAL).ok()?.trim().parse().ok()?;
+        if interval_ms == 0 {
+            return None;
+        }
+        let json_path = std::env::var(ENV_JSON).ok().map(PathBuf::from);
+        Some(Self::start(Duration::from_millis(interval_ms), json_path))
+    }
+
+    /// Starts a reporter unconditionally with the given interval, appending
+    /// JSONL snapshots to `json_path` when provided.
+    pub fn start(interval: Duration, json_path: Option<PathBuf>) -> Reporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("actor-obs-reporter".into())
+            .spawn(move || run_loop(interval, json_path, &stop_flag))
+            .expect("spawn obs reporter thread");
+        Reporter {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_loop(interval: Duration, json_path: Option<PathBuf>, stop: &AtomicBool) {
+    let mut sink = json_path.as_ref().and_then(|p| {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+            .map_err(|e| eprintln!("[obs] cannot open {}: {e}", p.display()))
+            .ok()
+    });
+    let mut prev = snapshot();
+    while !stop.load(Ordering::Relaxed) {
+        // Sleep in short slices so Drop never waits a full interval.
+        let mut remaining = interval;
+        while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        let now = snapshot();
+        emit_tick(&prev, &now, sink.as_mut());
+        prev = now;
+    }
+    // Final snapshot so short phases between the last tick and shutdown
+    // still appear in the record.
+    let now = snapshot();
+    emit_tick(&prev, &now, sink.as_mut());
+}
+
+fn emit_tick(prev: &Snapshot, now: &Snapshot, sink: Option<&mut File>) {
+    eprintln!("{}", human_line(prev, now));
+    if let Some(f) = sink {
+        let _ = writeln!(f, "{}", json_line(prev, now));
+        let _ = f.flush();
+    }
+}
+
+/// `[obs +12.3s] core.fit>embed.train (4.1s) | embed.hogwild.samples 1.2M (+310.0k/s)`
+fn human_line(prev: &Snapshot, now: &Snapshot) -> String {
+    let dt = (now.elapsed_s - prev.elapsed_s).max(1e-9);
+    let mut line = format!("[obs +{:.1}s]", now.elapsed_s);
+
+    // The deepest open span is the most specific statement of "what the
+    // process is doing right now".
+    match now
+        .active
+        .iter()
+        .max_by_key(|(path, _)| path.matches(crate::registry::PATH_SEP).count())
+    {
+        Some((path, open_s)) => {
+            line.push_str(&format!(" {path} ({open_s:.1}s)"));
+        }
+        None => line.push_str(" idle"),
+    }
+
+    for c in &now.counters {
+        let before = prev
+            .counters
+            .iter()
+            .find(|p| p.name == c.name)
+            .map_or(0, |p| p.value);
+        let delta = c.value.saturating_sub(before);
+        if delta > 0 {
+            line.push_str(&format!(
+                " | {} {} (+{}/s)",
+                c.name,
+                si(c.value),
+                si((delta as f64 / dt) as u64)
+            ));
+        }
+    }
+    line
+}
+
+/// One JSONL snapshot object (`"type":"snapshot"`).
+fn json_line(prev: &Snapshot, now: &Snapshot) -> String {
+    let dt = (now.elapsed_s - prev.elapsed_s).max(1e-9);
+    let mut out = String::from("{");
+    push_key(&mut out, "type");
+    push_str_literal(&mut out, "snapshot");
+    out.push(',');
+    push_key(&mut out, "elapsed_s");
+    push_f64(&mut out, now.elapsed_s);
+    out.push(',');
+    push_key(&mut out, "active");
+    out.push('[');
+    for (i, (path, open_s)) in now.active.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_key(&mut out, "path");
+        push_str_literal(&mut out, path);
+        out.push(',');
+        push_key(&mut out, "open_s");
+        push_f64(&mut out, *open_s);
+        out.push('}');
+    }
+    out.push(']');
+    out.push(',');
+    push_key(&mut out, "counters");
+    out.push('[');
+    let mut first = true;
+    for c in &now.counters {
+        let before = prev
+            .counters
+            .iter()
+            .find(|p| p.name == c.name)
+            .map_or(0, |p| p.value);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('{');
+        push_key(&mut out, "name");
+        push_str_literal(&mut out, &c.name);
+        out.push(',');
+        push_key(&mut out, "value");
+        out.push_str(&c.value.to_string());
+        out.push(',');
+        push_key(&mut out, "rate_per_s");
+        push_f64(&mut out, c.value.saturating_sub(before) as f64 / dt);
+        out.push('}');
+    }
+    out.push(']');
+    out.push(',');
+    push_key(&mut out, "histograms");
+    out.push('[');
+    for (i, h) in now.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_histogram(&mut out, h);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Compact SI formatting: 1234567 → "1.2M".
+fn si(v: u64) -> String {
+    match v {
+        0..=999 => v.to_string(),
+        1_000..=999_999 => format!("{:.1}k", v as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}M", v as f64 / 1e6),
+        _ => format!("{:.1}G", v as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si(999), "999");
+        assert_eq!(si(1_500), "1.5k");
+        assert_eq!(si(2_400_000), "2.4M");
+        assert_eq!(si(3_000_000_000), "3.0G");
+    }
+
+    #[test]
+    fn reporter_stops_on_drop() {
+        let reporter = Reporter::start(Duration::from_millis(10), None);
+        std::thread::sleep(Duration::from_millis(30));
+        drop(reporter); // must not hang
+    }
+
+    #[test]
+    fn json_line_is_wellformed_prefix() {
+        let prev = snapshot();
+        crate::counter("report.test.ticks").add(5);
+        let now = snapshot();
+        let line = json_line(&prev, &now);
+        assert!(line.starts_with("{\"type\":\"snapshot\""), "{line}");
+        assert!(line.ends_with("]}"), "{line}");
+        assert!(line.contains("report.test.ticks"), "{line}");
+    }
+}

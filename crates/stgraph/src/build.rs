@@ -92,11 +92,17 @@ impl<'a> ActivityGraphBuilder<'a> {
     /// Builds the graph over `record_ids` (normally the training split) and
     /// returns it with the per-record unit assignments.
     pub fn build(&self, record_ids: &[RecordId]) -> (ActivityGraph, Vec<RecordUnits>) {
+        let _span = obs::span!("stgraph.build");
+        let records_seen = obs::counter("stgraph.records");
+        let intra_instances = obs::counter("stgraph.metagraph.intra");
+        let inter_instances = obs::counter("stgraph.metagraph.inter");
+
         let space = self.node_space();
         let mut maps: HashMap<EdgeType, HashMap<(NodeId, NodeId), f64>> = HashMap::new();
         let mut units = Vec::with_capacity(record_ids.len());
 
         for &rid in record_ids {
+            records_seen.incr();
             let r = self.corpus.record(rid);
             let t = space.node(NodeType::Time, self.temporal.assign_timestamp(r.timestamp).0);
             let l = space.node(NodeType::Location, self.spatial.assign(r.location).0);
@@ -121,6 +127,10 @@ impl<'a> ActivityGraphBuilder<'a> {
                 }
             }
 
+            // Each record realizes one intra-record meta-graph instance
+            // (Fig. 3a): its T–L–W clique.
+            intra_instances.incr();
+
             let mut user_node = None;
             if self.options.include_users {
                 let author = space.node(NodeType::User, r.user.0);
@@ -137,6 +147,9 @@ impl<'a> ActivityGraphBuilder<'a> {
                     for &m in &r.mentions {
                         if m != r.user {
                             connect(space.node(NodeType::User, m.0), &mut maps);
+                            // A mentioned user realizes one inter-record
+                            // meta-graph instance (Fig. 3b).
+                            inter_instances.incr();
                         }
                     }
                 }
@@ -151,7 +164,10 @@ impl<'a> ActivityGraphBuilder<'a> {
             });
         }
 
-        (ActivityGraph::from_maps(space, maps), units)
+        let graph = ActivityGraph::from_maps(space, maps);
+        obs::counter("stgraph.nodes").add(graph.n_nodes() as u64);
+        obs::counter("stgraph.edges").add(graph.n_edges() as u64);
+        (graph, units)
     }
 }
 

@@ -1,0 +1,101 @@
+//! Offline shim of the `crossbeam` API surface used by this workspace.
+//!
+//! Only `crossbeam::thread::scope` + `Scope::spawn` are provided, backed by
+//! `std::thread::scope` (stable since Rust 1.63). Matching the real crate,
+//! `scope` returns `Err` when any spawned thread panicked instead of
+//! propagating the panic at the join point.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of the first panicking
+    /// child thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its panic payload on
+        /// panic instead of resuming the unwind.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// like crossbeam's (unlike `std`'s), so nested spawns keep working.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the enclosing
+    /// stack frame can be spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn spawned_threads_run_and_join() {
+            let counter = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn panicking_child_yields_err() {
+            let r = scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn join_reports_individual_panics() {
+            let r = scope(|s| {
+                let ok = s.spawn(|_| 7).join();
+                let bad = s.spawn(|_| -> i32 { panic!("child") }).join();
+                (ok, bad)
+            });
+            // The outer scope itself must not panic: both children were
+            // joined explicitly, consuming their results.
+            let (ok, bad) = r.unwrap();
+            assert_eq!(ok.unwrap(), 7);
+            assert!(bad.is_err());
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline shim of `proptest`: randomized property testing without
+//! shrinking.
+//!
+//! The real proptest generates inputs from composable [`Strategy`] values,
+//! runs each property a configurable number of times, and shrinks failures
+//! to minimal counterexamples. This shim keeps the first two behaviours —
+//! strategies compose the same way and every property still runs against
+//! `ProptestConfig::cases` random inputs — but reports failures with the
+//! deterministic case index instead of shrinking. Re-running the test binary
+//! reproduces the exact failing input because every test's RNG is seeded
+//! from a hash of the test name.
+//!
+//! Surface implemented (everything this workspace uses):
+//!
+//! * `proptest! { #![proptest_config(...)] fn name(x in strategy, ...) {...} }`
+//! * `Strategy` with `prop_map`, ranges (`0u64..500`, `0.1f64..5.0`),
+//!   tuples up to arity 8, `prop::collection::vec`, `prop::option::of`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! * `ProptestConfig::with_cases`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the heavier statistical
+        // properties (30k-sample alias checks, full pipeline builds)
+        // fast while still exercising a wide input range.
+        Self { cases: 64 }
+    }
+}
+
+/// A composable generator of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Inclusive-lo / exclusive-hi length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range {r:?}");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::*`).
+pub mod option {
+    use super::*;
+
+    /// Strategy producing `None` about a quarter of the time and
+    /// `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.random_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Namespace mirroring `proptest::prop` from the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic per-test RNG: FNV-1a of the test name seeds the shared
+/// xoshiro generator, so every run of a given test sees the same inputs.
+#[doc(hidden)]
+pub fn __test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running `body` against `ProptestConfig::cases`
+/// random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::__test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    ::std::panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// the formatted message, when given) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert!` for equality; operands must implement `PartialEq + Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality; operands must implement `PartialEq + Debug`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Discards the current case when the precondition does not hold. The shim
+/// counts discarded cases as passes rather than redrawing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::__test_rng("ranges_respect_bounds");
+        for _ in 0..500 {
+            let x = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_and_option_compose() {
+        let mut rng = crate::__test_rng("compose");
+        let strat = prop::collection::vec(
+            (0u8..6, prop::collection::vec(0u8..12, 1..6), prop::option::of(0u8..6)),
+            1..40,
+        );
+        for _ in 0..200 {
+            let rows = Strategy::generate(&strat, &mut rng);
+            assert!(!rows.is_empty() && rows.len() < 40);
+            for (a, ks, m) in rows {
+                assert!(a < 6);
+                assert!(!ks.is_empty() && ks.len() < 6);
+                assert!(ks.iter().all(|&k| k < 12));
+                assert!(m.is_none_or(|v| v < 6));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = crate::__test_rng("prop_map");
+        let strat = (0u32..10).prop_map(|x| x * 100);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v % 100, 0);
+            assert!(v < 1000);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = crate::__test_rng("exact");
+        let strat = prop::collection::vec(-10.0f32..10.0, 8);
+        assert_eq!(Strategy::generate(&strat, &mut rng).len(), 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, assertions work, assume skips.
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, ys in prop::collection::vec(0i32..5, 0..4)) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 99, "x was {x}");
+            prop_assert_eq!(ys.len() as i64, ys.iter().map(|_| 1i64).sum::<i64>());
+            prop_assert_ne!(x + 1, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0u8..10) {
+                    prop_assert!(x > 200, "impossible");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("impossible"), "{msg}");
+    }
+}

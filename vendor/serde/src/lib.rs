@@ -1,0 +1,541 @@
+//! Offline shim of the `serde` API surface used by this workspace.
+//!
+//! Instead of serde's visitor-based data model, this shim routes every
+//! type through one self-describing [`Value`] tree (the JSON data model).
+//! `#[derive(Serialize, Deserialize)]` is provided by the companion
+//! `serde_derive` shim (enabled through the `derive` feature, matching the
+//! real crate's feature name) and maps structs to maps, newtype structs to
+//! their inner value, tuple structs to sequences, and unit-only enums to
+//! their variant name as a string — the same shapes `serde_json` produces
+//! for attribute-free derives.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every serializable type maps onto.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `Option::None`).
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings (also unit enum variants).
+    Str(String),
+    /// Sequences (`Vec`, tuples, tuple structs).
+    Seq(Vec<Value>),
+    /// String-keyed maps (structs, `HashMap`/`BTreeMap`), in insertion
+    /// order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map key; absent keys read as [`Value::Null`].
+    pub fn get(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Map(m) => m
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// A "wrong shape" error.
+    pub fn ty(expected: &str, context: &str, got: &Value) -> Self {
+        Self {
+            msg: format!("expected {expected} for {context}, got {}", got.kind()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            Value::Str(s) => s.parse().map_err(|_| Error::ty("bool", "bool", v)),
+            _ => Err(Error::ty("bool", "bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    // Map keys arrive as strings; accept the numeric form.
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| Error::ty("unsigned integer", stringify!($t), v))?,
+                    _ => return Err(Error::ty("unsigned integer", stringify!($t), v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::Int(n) } else { Value::UInt(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} overflows i64")))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| Error::ty("integer", stringify!($t), v))?,
+                    _ => return Err(Error::ty("integer", stringify!($t), v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Str(s) => s.parse().map_err(|_| Error::ty("float", "f64", v)),
+            _ => Err(Error::ty("float", "f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::ty("string", "String", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(Error::ty("single-character string", "char", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::deserialize(v).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::ty("sequence", "Vec", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::ty("sequence", "tuple", v))?;
+                let arity = [$($n),+].len();
+                if s.len() != arity {
+                    return Err(Error::custom(format!(
+                        "expected a {arity}-tuple, got {} elements", s.len())));
+                }
+                Ok(($($t::deserialize(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Renders a serialized map key as the string JSON requires.
+fn key_string(key: Value) -> String {
+    match key {
+        Value::Str(s) => s,
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map keys must serialize to strings, integers, or bools, got {}",
+            other.kind()
+        ),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.serialize()), v.serialize()))
+            .collect();
+        // HashMap iteration order is unstable; sort for reproducible output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::ty("map", "HashMap", v))?
+            .iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::deserialize(&Value::Str(k.clone()))?,
+                    V::deserialize(val)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::ty("map", "BTreeMap", v))?
+            .iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::deserialize(&Value::Str(k.clone()))?,
+                    V::deserialize(val)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers the derive macros generate calls to
+// ---------------------------------------------------------------------------
+
+/// Reads struct field `key` from map `v`; absent keys read as `Null` so
+/// `Option` fields tolerate omission.
+pub fn map_field<T: Deserialize>(v: &Value, key: &str, strukt: &str) -> Result<T, Error> {
+    if v.as_map().is_none() {
+        return Err(Error::ty("map", strukt, v));
+    }
+    T::deserialize(v.get(key))
+        .map_err(|e| Error::custom(format!("field `{strukt}.{key}`: {e}")))
+}
+
+/// Reads element `idx` of the sequence encoding of tuple struct `strukt`.
+pub fn seq_field<T: Deserialize>(v: &Value, idx: usize, strukt: &str) -> Result<T, Error> {
+    let s = v
+        .as_seq()
+        .ok_or_else(|| Error::ty("sequence", strukt, v))?;
+    let elem = s
+        .get(idx)
+        .ok_or_else(|| Error::custom(format!("{strukt} is missing element {idx}")))?;
+    T::deserialize(elem).map_err(|e| Error::custom(format!("field `{strukt}.{idx}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hey".to_string().serialize()).unwrap(),
+            "hey"
+        );
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u8>::serialize(&None), Value::Null);
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::deserialize(&Value::UInt(3)).unwrap(), Some(3));
+        // Absent struct fields read as Null.
+        let m = Value::Map(vec![]);
+        assert_eq!(map_field::<Option<u8>>(&m, "x", "S").unwrap(), None);
+    }
+
+    #[test]
+    fn maps_round_trip_with_sorted_string_keys() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let v = m.serialize();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("a".into(), Value::UInt(1)),
+                ("b".into(), Value::UInt(2)),
+            ])
+        );
+        let back: HashMap<String, u32> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_keyed_maps_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(5u64, "five".to_string());
+        let v = m.serialize();
+        assert_eq!(v.get("5").as_str(), Some("five"));
+        let back: BTreeMap<u64, String> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_and_vecs_round_trip() {
+        let x = vec![(1u32, -2i32, 1.5f64), (3, -4, 2.5)];
+        let back: Vec<(u32, i32, f64)> = Deserialize::deserialize(&x.serialize()).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u32::deserialize(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u8>::deserialize(&Value::Bool(true)).is_err());
+        assert!(<(u8, u8)>::deserialize(&Value::Seq(vec![Value::UInt(1)])).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests exercising the vendored `serde_derive` macros through
+//! JSON round-trips — the exact shapes the workspace derives on.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NewtypeId(pub u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pair(pub f64, pub f64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// First mode.
+    Alpha,
+    Beta,
+    GammaRay,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nested {
+    pub id: NewtypeId,
+    pub point: Pair,
+    pub mode: Mode,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outer {
+    /// Doc comments on fields must not confuse the parser.
+    pub name: String,
+    count: u64,
+    pub scale: f32,
+    pub flags: Vec<bool>,
+    pub lookup: HashMap<String, NewtypeId>,
+    pub maybe: Option<Nested>,
+    pub none: Option<u8>,
+    pub edges: Vec<(NewtypeId, NewtypeId, f64)>,
+}
+
+fn sample() -> Outer {
+    let mut lookup = HashMap::new();
+    lookup.insert("beach".to_string(), NewtypeId(7));
+    lookup.insert("surf".to_string(), NewtypeId(9));
+    Outer {
+        name: "corpus \"x\"\n".to_string(),
+        count: 12345678901234,
+        scale: 0.25,
+        flags: vec![true, false, true],
+        lookup,
+        maybe: Some(Nested {
+            id: NewtypeId(3),
+            point: Pair(-118.4, 34.1),
+            mode: Mode::GammaRay,
+        }),
+        none: None,
+        edges: vec![(NewtypeId(1), NewtypeId(2), 0.5)],
+    }
+}
+
+#[test]
+fn derived_structs_round_trip_through_json() {
+    let outer = sample();
+    let json = serde_json::to_string(&outer).unwrap();
+    let back: Outer = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outer);
+}
+
+#[test]
+fn newtype_is_transparent_and_enum_is_a_string() {
+    assert_eq!(serde_json::to_string(&NewtypeId(5)).unwrap(), "5");
+    assert_eq!(serde_json::to_string(&Mode::Alpha).unwrap(), "\"Alpha\"");
+    let m: Mode = serde_json::from_str("\"GammaRay\"").unwrap();
+    assert_eq!(m, Mode::GammaRay);
+    assert!(serde_json::from_str::<Mode>("\"Delta\"").is_err());
+}
+
+#[test]
+fn tuple_struct_is_a_sequence() {
+    let json = serde_json::to_string(&Pair(1.0, -2.5)).unwrap();
+    assert_eq!(json, "[1.0,-2.5]");
+    let p: Pair = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, Pair(1.0, -2.5));
+}
+
+#[test]
+fn missing_optional_fields_read_as_none() {
+    let json = r#"{"name":"n","count":1,"scale":1.0,"flags":[],"lookup":{},"maybe":null,"none":null,"edges":[]}"#;
+    let o: Outer = serde_json::from_str(json).unwrap();
+    assert_eq!(o.maybe, None);
+    assert_eq!(o.none, None);
+}
+
+#[test]
+fn missing_required_fields_error() {
+    let json = r#"{"name":"n"}"#;
+    let err = serde_json::from_str::<Outer>(json).unwrap_err();
+    assert!(err.to_string().contains("Outer"), "{err}");
+}
