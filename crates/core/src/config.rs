@@ -61,6 +61,11 @@ pub struct ActorConfig {
     /// the sample budget (LINE's schedule). Disable for the design
     /// ablation.
     pub anneal: bool,
+    /// L2 ceiling on any single SGD row update (`0.0` disables clipping).
+    /// The default of 5.0 sits orders of magnitude above healthy updates,
+    /// so it never perturbs a converging run — it only bounds the damage
+    /// of a diverging one until the divergence detector steps in.
+    pub grad_clip: f32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -86,6 +91,7 @@ impl Default for ActorConfig {
             init_scale: 1.0,
             negative_power: 0.75,
             anneal: true,
+            grad_clip: 5.0,
             seed: 0xAC7012,
         }
     }
@@ -108,6 +114,7 @@ impl ActorConfig {
         SgdParams {
             learning_rate: self.learning_rate,
             negatives: self.negatives,
+            grad_clip: self.grad_clip,
         }
     }
 
@@ -149,6 +156,11 @@ impl ActorConfig {
             return Err(ConfigError::BandwidthExceedsPeriod {
                 bandwidth: self.temporal_bandwidth,
                 period: self.temporal_period,
+            });
+        }
+        if !(self.grad_clip.is_finite() && self.grad_clip >= 0.0) {
+            return Err(ConfigError::InvalidGradClip {
+                got: self.grad_clip,
             });
         }
         if !(0.0..=2.0).contains(&self.negative_power) {
@@ -225,6 +237,8 @@ mod tests {
             |c: &mut ActorConfig| c.threads = 0,
             |c: &mut ActorConfig| c.spatial_bandwidth = -1.0,
             |c: &mut ActorConfig| c.temporal_bandwidth = 0.0,
+            |c: &mut ActorConfig| c.grad_clip = f32::NAN,
+            |c: &mut ActorConfig| c.grad_clip = -1.0,
         ] {
             let mut c = ActorConfig::default();
             f(&mut c);

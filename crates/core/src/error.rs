@@ -45,6 +45,12 @@ pub enum ConfigError {
         /// The rejected exponent.
         got: f64,
     },
+    /// `grad_clip` is NaN, infinite, or negative (`0.0` = disabled is
+    /// fine).
+    InvalidGradClip {
+        /// The rejected ceiling.
+        got: f32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -70,6 +76,9 @@ impl fmt::Display for ConfigError {
             Self::NegativePowerOutOfRange { got } => {
                 write!(f, "negative_power must be in [0, 2], got {got}")
             }
+            Self::InvalidGradClip { got } => {
+                write!(f, "grad_clip must be finite and non-negative, got {got}")
+            }
         }
     }
 }
@@ -83,6 +92,24 @@ pub enum FitError {
     Config(ConfigError),
     /// The training split has no records.
     EmptyTrainingSplit,
+    /// A checkpoint could not be written or restored.
+    Checkpoint(resilience::CheckpointError),
+    /// A (possibly injected) worker failure interrupted training; the
+    /// cursors name the last completed segment boundary so a
+    /// [`crate::fit_resume`] can pick up from the checkpoint taken there.
+    Interrupted {
+        /// Epochs fully completed before the failure.
+        epoch: usize,
+        /// Weighted samples completed before the failure.
+        samples: u64,
+    },
+    /// Training kept diverging after exhausting the retry budget.
+    Diverged {
+        /// Epoch of the segment that diverged last.
+        epoch: usize,
+        /// Retries spent before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for FitError {
@@ -90,6 +117,15 @@ impl fmt::Display for FitError {
         match self {
             Self::Config(e) => write!(f, "invalid config: {e}"),
             Self::EmptyTrainingSplit => write!(f, "training split is empty"),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            Self::Interrupted { epoch, samples } => write!(
+                f,
+                "training interrupted after epoch {epoch} ({samples} samples); resume from the latest checkpoint"
+            ),
+            Self::Diverged { epoch, retries } => write!(
+                f,
+                "training diverged at epoch {epoch} after {retries} retries"
+            ),
         }
     }
 }
@@ -98,7 +134,8 @@ impl std::error::Error for FitError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Config(e) => Some(e),
-            Self::EmptyTrainingSplit => None,
+            Self::Checkpoint(e) => Some(e),
+            Self::EmptyTrainingSplit | Self::Interrupted { .. } | Self::Diverged { .. } => None,
         }
     }
 }
@@ -108,6 +145,88 @@ impl From<ConfigError> for FitError {
         Self::Config(e)
     }
 }
+
+impl From<resilience::CheckpointError> for FitError {
+    fn from(e: resilience::CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// A failed model save/load (see [`crate::persist`]).
+///
+/// Load never panics: every length is bounds-checked against the payload
+/// and every count against a sane ceiling, so truncated or malicious
+/// envelopes are reported, not crashed on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// The envelope does not start with the expected magic bytes.
+    BadMagic,
+    /// The payload ended before a required field.
+    Truncated {
+        /// What was being read.
+        reading: &'static str,
+        /// Bytes needed to continue.
+        need: usize,
+        /// Bytes actually left.
+        have: usize,
+    },
+    /// A length or count field implies more data than the payload holds
+    /// (or overflows the address space) — a corrupt or malicious header.
+    ImplausibleLength {
+        /// The field in question.
+        field: &'static str,
+        /// The claimed value.
+        claimed: u64,
+    },
+    /// A UTF-8 string field failed to decode.
+    BadString {
+        /// The field in question.
+        field: &'static str,
+    },
+    /// The embedding-store section failed to decode.
+    Store {
+        /// The store decoder's message.
+        detail: String,
+    },
+    /// The restored parts are mutually inconsistent (e.g. the embedding
+    /// store does not match the declared unit space).
+    Inconsistent {
+        /// What disagreed.
+        detail: String,
+    },
+    /// Trailing bytes after a complete envelope.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad magic: not an ACTOR model envelope"),
+            Self::Truncated {
+                reading,
+                need,
+                have,
+            } => write!(
+                f,
+                "truncated envelope while reading {reading}: need {need} bytes, have {have}"
+            ),
+            Self::ImplausibleLength { field, claimed } => {
+                write!(f, "implausible {field}: claims {claimed}")
+            }
+            Self::BadString { field } => write!(f, "invalid UTF-8 in {field}"),
+            Self::Store { detail } => write!(f, "embedding store section: {detail}"),
+            Self::Inconsistent { detail } => write!(f, "inconsistent model parts: {detail}"),
+            Self::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after envelope")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
 
 #[cfg(test)]
 mod tests {

@@ -26,11 +26,13 @@ pub mod model;
 pub mod online;
 pub mod persist;
 pub mod pipeline;
+pub mod resilient;
 
 pub use ablation::Variant;
 pub use config::ActorConfig;
-pub use error::{ConfigError, FitError};
+pub use error::{ConfigError, FitError, PersistError};
 pub use model::TrainedModel;
 pub use online::{OnlineActor, OnlineParams};
 pub use persist::ModelMeta;
 pub use pipeline::{fit, FitReport};
+pub use resilient::{fit_checkpointed, fit_resume, ResilienceOptions, ResilienceReport};

@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 
 use embed::{NegativeSamplingUpdate, SgdParams};
-use mobility::Record;
+use mobility::{GeoPoint, Record};
 use rand::seq::IndexedRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use stgraph::{NodeId, NodeType};
@@ -36,6 +36,10 @@ pub struct OnlineParams {
     pub replay: usize,
     /// Recency buffer capacity.
     pub buffer: usize,
+    /// L2 ceiling on any single streaming SGD update (`0.0` = off). The
+    /// stream is untrusted input, so the ceiling is on by default: one
+    /// adversarial record can at most nudge a row by `grad_clip`.
+    pub grad_clip: f32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -48,6 +52,7 @@ impl Default for OnlineParams {
             steps_per_record: 2,
             replay: 4,
             buffer: 4096,
+            grad_clip: 5.0,
             seed: 0x051,
         }
     }
@@ -73,6 +78,7 @@ pub struct OnlineActor {
     seen: [Vec<NodeId>; 4],
     observed: u64,
     skipped_words: u64,
+    skipped_records: u64,
 }
 
 impl OnlineActor {
@@ -85,6 +91,7 @@ impl OnlineActor {
                 SgdParams {
                     learning_rate: params.learning_rate,
                     negatives: params.negatives,
+                    grad_clip: params.grad_clip,
                 },
             ),
             rng: StdRng::seed_from_u64(params.seed),
@@ -92,6 +99,7 @@ impl OnlineActor {
             seen: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             observed: 0,
             skipped_words: 0,
+            skipped_records: 0,
             model,
             params,
         }
@@ -110,6 +118,11 @@ impl OnlineActor {
     /// Keyword tokens skipped because they were unknown at fit time.
     pub fn skipped_words(&self) -> u64 {
         self.skipped_words
+    }
+
+    /// Whole records rejected by [`OnlineActor::observe`] as unusable.
+    pub fn skipped_records(&self) -> u64 {
+        self.skipped_records
     }
 
     /// Consumes the wrapper, returning the updated model.
@@ -162,11 +175,40 @@ impl OnlineActor {
         }
     }
 
+    /// Whether a streamed record can be applied to the model at all:
+    /// finite in-range coordinates, a user known at fit time, and at
+    /// least one keyword surviving the vocabulary filter. The stream is
+    /// untrusted, so anything else is rejected rather than folded into
+    /// hotspot/user assignment where it would corrupt nearest-neighbor
+    /// lookups (NaN poisons every distance comparison).
+    fn admissible(&self, record: &Record) -> bool {
+        let GeoPoint { lat, lon } = record.location;
+        lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon)
+            && record.user.0 < self.model.space().n_user
+    }
+
     /// Observes one record: assigns its units, applies SGD steps for its
     /// intra-record (and author) pairs, replays a few buffered records,
     /// and pushes it into the recency buffer.
-    pub fn observe(&mut self, record: &Record) {
+    ///
+    /// Returns `false` (and counts the record in
+    /// [`OnlineActor::skipped_records`]) when the record is unusable —
+    /// non-finite or out-of-range coordinates, a user unseen at fit time,
+    /// or no keywords left after the vocabulary filter. The model is
+    /// untouched in that case.
+    pub fn observe(&mut self, record: &Record) -> bool {
+        if !self.admissible(record) {
+            self.skipped_records += 1;
+            return false;
+        }
         let units = self.assign(record);
+        if units.words.is_empty() {
+            self.skipped_records += 1;
+            return false;
+        }
         for node in std::iter::once(units.time)
             .chain([units.location])
             .chain(units.words.iter().copied())
@@ -192,6 +234,7 @@ impl OnlineActor {
         }
         self.buffer.push_back(units);
         self.observed += 1;
+        true
     }
 
     /// One pass of pair updates for a record's units.
@@ -341,6 +384,96 @@ mod tests {
             online.observe(corpus.record(rid));
         }
         assert!(online.buffer.len() <= 16);
+    }
+
+    #[test]
+    fn corrupt_stream_records_are_skipped_and_model_stays_finite() {
+        let (corpus, _, model) = fitted();
+        let beach = corpus.vocab().get("beach").expect("beach in vocab");
+        let n_user = model.space().n_user;
+        let snapshot: Vec<Vec<f32>> = (0..model.space().len())
+            .map(|i| model.store().centers.row(i).to_vec())
+            .collect();
+        let mut online = OnlineActor::new(model, OnlineParams::default());
+        let base = Record {
+            id: mobility::RecordId(0),
+            user: mobility::UserId(0),
+            timestamp: mobility::synth::EPOCH_BASE + 3600,
+            location: GeoPoint::new(40.7, -73.9),
+            keywords: vec![beach],
+            mentions: vec![],
+        };
+        let bad = [
+            // NaN latitude.
+            Record {
+                location: GeoPoint::new(f64::NAN, -73.9),
+                ..base.clone()
+            },
+            // Infinite longitude.
+            Record {
+                location: GeoPoint::new(40.7, f64::INFINITY),
+                ..base.clone()
+            },
+            // Coordinates far out of range.
+            Record {
+                location: GeoPoint::new(1234.0, -73.9),
+                ..base.clone()
+            },
+            // User unseen at fit time.
+            Record {
+                user: mobility::UserId(n_user + 10),
+                ..base.clone()
+            },
+            // No keywords at all.
+            Record {
+                keywords: vec![],
+                ..base.clone()
+            },
+            // Only out-of-vocabulary keywords.
+            Record {
+                keywords: vec![mobility::KeywordId(u32::MAX)],
+                ..base.clone()
+            },
+        ];
+        for rec in &bad {
+            assert!(!online.observe(rec), "should reject {rec:?}");
+        }
+        assert_eq!(online.observed(), 0);
+        assert_eq!(online.skipped_records(), bad.len() as u64);
+        // Rejected records must not have touched a single embedding row.
+        let model = online.into_model();
+        for (i, row) in snapshot.iter().enumerate() {
+            assert_eq!(model.store().centers.row(i), row.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn valid_record_after_corrupt_burst_still_learns() {
+        let (corpus, _, model) = fitted();
+        let beach = corpus.vocab().get("beach").expect("beach in vocab");
+        let mut online = OnlineActor::new(model, OnlineParams::default());
+        let good = Record {
+            id: mobility::RecordId(1),
+            user: mobility::UserId(0),
+            timestamp: mobility::synth::EPOCH_BASE + 3600,
+            location: GeoPoint::new(40.7, -73.9),
+            keywords: vec![beach],
+            mentions: vec![],
+        };
+        let poisoned = Record {
+            location: GeoPoint::new(f64::NAN, f64::NAN),
+            ..good.clone()
+        };
+        for _ in 0..50 {
+            online.observe(&poisoned);
+        }
+        assert!(online.observe(&good));
+        assert_eq!(online.observed(), 1);
+        assert_eq!(online.skipped_records(), 50);
+        let model = online.into_model();
+        for i in (0..model.space().len()).step_by(17) {
+            assert!(model.store().centers.row(i).iter().all(|x| x.is_finite()));
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use stgraph::NodeSpace;
 
 use crate::config::ActorConfig;
+use crate::error::PersistError;
 use crate::model::TrainedModel;
 
 /// Serializable metadata of a trained model (everything except the
@@ -65,22 +66,29 @@ impl TrainedModel {
     /// Hotspot assignment indices are reconstructed from the saved
     /// centers (detection is not re-run; counts are not preserved, they
     /// are irrelevant to inference).
-    pub fn from_saved_parts(meta: ModelMeta, store_bytes: Bytes) -> Result<Self, String> {
-        let store = EmbeddingStore::from_bytes(store_bytes)?;
+    pub fn from_saved_parts(meta: ModelMeta, store_bytes: Bytes) -> Result<Self, PersistError> {
+        let store = EmbeddingStore::from_bytes(store_bytes)
+            .map_err(|detail| PersistError::Store { detail })?;
         if store.n_nodes() != meta.space.len() {
-            return Err(format!(
-                "store has {} rows but node space expects {}",
-                store.n_nodes(),
-                meta.space.len()
-            ));
+            return Err(PersistError::Inconsistent {
+                detail: format!(
+                    "store has {} rows but node space expects {}",
+                    store.n_nodes(),
+                    meta.space.len()
+                ),
+            });
         }
         if meta.spatial_centers.is_empty() || meta.temporal_centers.is_empty() {
-            return Err("saved model must have at least one hotspot per modality".into());
+            return Err(PersistError::Inconsistent {
+                detail: "saved model must have at least one hotspot per modality".into(),
+            });
         }
         if meta.spatial_centers.len() != meta.space.n_location as usize
             || meta.temporal_centers.len() != meta.space.n_time as usize
         {
-            return Err("hotspot counts disagree with the node space".into());
+            return Err(PersistError::Inconsistent {
+                detail: "hotspot counts disagree with the node space".into(),
+            });
         }
         let spatial = SpatialHotspots::from_centers(
             &meta.spatial_centers,
@@ -116,15 +124,32 @@ impl TrainedModel {
     }
 
     /// Loads a model saved by [`TrainedModel::save_bincode_like`].
-    pub fn load_bincode_like(mut bytes: Bytes) -> Result<Self, String> {
-        if bytes.len() < 16 || &bytes[..8] != MAGIC {
-            return Err("not an ACTORST1 model buffer".into());
+    ///
+    /// The envelope is treated as untrusted input: every length and
+    /// count is checked against the bytes actually present before any
+    /// allocation or loop sized by it, so truncated, bit-flipped, or
+    /// malicious buffers return a [`PersistError`] instead of panicking
+    /// or exhausting memory.
+    pub fn load_bincode_like(mut bytes: Bytes) -> Result<Self, PersistError> {
+        if bytes.len() < 8 || &bytes[..8] != MAGIC {
+            return Err(PersistError::BadMagic);
         }
         bytes.advance(8);
-        let meta_len = bytes.get_u64_le() as usize;
-        if bytes.len() < meta_len {
-            return Err("metadata truncated".into());
+        if bytes.len() < 8 {
+            return Err(PersistError::Truncated {
+                reading: "metadata length",
+                need: 8,
+                have: bytes.len(),
+            });
         }
+        let meta_len64 = bytes.get_u64_le();
+        let meta_len = usize::try_from(meta_len64)
+            .ok()
+            .filter(|&n| n <= bytes.len())
+            .ok_or(PersistError::ImplausibleLength {
+                field: "metadata length",
+                claimed: meta_len64,
+            })?;
         let meta_bytes = bytes.split_to(meta_len);
         let meta = decode_meta(meta_bytes)?;
         Self::from_saved_parts(meta, bytes)
@@ -136,16 +161,24 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(bytes: &mut Bytes) -> Result<String, String> {
+fn get_str(bytes: &mut Bytes, field: &'static str) -> Result<String, PersistError> {
     if bytes.len() < 4 {
-        return Err("string header truncated".into());
+        return Err(PersistError::Truncated {
+            reading: field,
+            need: 4,
+            have: bytes.len(),
+        });
     }
     let len = bytes.get_u32_le() as usize;
     if bytes.len() < len {
-        return Err("string body truncated".into());
+        return Err(PersistError::Truncated {
+            reading: field,
+            need: len,
+            have: bytes.len(),
+        });
     }
     let raw = bytes.split_to(len);
-    String::from_utf8(raw.to_vec()).map_err(|e| e.to_string())
+    String::from_utf8(raw.to_vec()).map_err(|_| PersistError::BadString { field })
 }
 
 fn encode_meta(meta: &ModelMeta) -> Bytes {
@@ -179,64 +212,93 @@ fn encode_meta(meta: &ModelMeta) -> Bytes {
     buf.put_u64_le(c.negatives as u64);
     buf.put_f64_le(c.spatial_bandwidth);
     buf.put_f64_le(c.temporal_bandwidth);
+    buf.put_f32_le(c.grad_clip);
     buf.put_u64_le(c.seed);
     buf.freeze()
 }
 
-fn decode_meta(mut bytes: Bytes) -> Result<ModelMeta, String> {
-    let need = |bytes: &Bytes, n: usize| -> Result<(), String> {
-        if bytes.len() < n {
-            Err("metadata truncated".into())
-        } else {
-            Ok(())
-        }
-    };
-    need(&bytes, 16)?;
+/// Bounds-checks `n` bytes remaining before a fixed-width read.
+fn need(bytes: &Bytes, reading: &'static str, n: usize) -> Result<(), PersistError> {
+    if bytes.len() < n {
+        Err(PersistError::Truncated {
+            reading,
+            need: n,
+            have: bytes.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads a `u64` element count and verifies the payload actually holds
+/// `count × elem_size` more bytes *before* any allocation or loop uses
+/// the count. The multiplication is checked: a count near `u64::MAX`
+/// must not wrap into a small number and pass the length test.
+fn get_count(
+    bytes: &mut Bytes,
+    field: &'static str,
+    elem_size: usize,
+) -> Result<usize, PersistError> {
+    need(bytes, field, 8)?;
+    let claimed = bytes.get_u64_le();
+    let implausible = PersistError::ImplausibleLength { field, claimed };
+    let count = usize::try_from(claimed).map_err(|_| implausible.clone())?;
+    let total = count.checked_mul(elem_size).ok_or(implausible.clone())?;
+    if total > bytes.len() {
+        return Err(implausible);
+    }
+    Ok(count)
+}
+
+fn decode_meta(mut bytes: Bytes) -> Result<ModelMeta, PersistError> {
+    need(&bytes, "node space", 16)?;
     let space = NodeSpace {
         n_time: bytes.get_u32_le(),
         n_location: bytes.get_u32_le(),
         n_word: bytes.get_u32_le(),
         n_user: bytes.get_u32_le(),
     };
-    need(&bytes, 8)?;
-    let n_spatial = bytes.get_u64_le() as usize;
-    need(&bytes, n_spatial * 16)?;
+    let n_spatial = get_count(&mut bytes, "spatial center count", 16)?;
     let spatial_centers = (0..n_spatial)
         .map(|_| GeoPoint::new(bytes.get_f64_le(), bytes.get_f64_le()))
         .collect();
-    need(&bytes, 8)?;
-    let n_temporal = bytes.get_u64_le() as usize;
-    need(&bytes, n_temporal * 8)?;
+    let n_temporal = get_count(&mut bytes, "temporal center count", 8)?;
     let temporal_centers = (0..n_temporal).map(|_| bytes.get_f64_le()).collect();
-    need(&bytes, 8)?;
+    need(&bytes, "temporal period", 8)?;
     let temporal_period = bytes.get_f64_le();
 
-    need(&bytes, 8)?;
-    let n_words = bytes.get_u64_le() as usize;
+    // Each vocabulary entry is at least 12 bytes (string header + count),
+    // which bounds the loop by the payload size.
+    let n_words = get_count(&mut bytes, "vocabulary count", 12)?;
     let mut vocab = Vocabulary::new();
     for _ in 0..n_words {
-        let word = get_str(&mut bytes)?;
-        need(&bytes, 8)?;
+        let word = get_str(&mut bytes, "vocabulary word")?;
+        need(&bytes, "vocabulary word count", 8)?;
         let count = bytes.get_u64_le();
         let id = vocab
             .intern(&word)
-            .ok_or_else(|| format!("saved vocabulary contains invalid word {word:?}"))?;
-        // intern set count to 1; restore the saved count.
-        for _ in 1..count {
-            vocab.bump(id);
-        }
+            .ok_or(PersistError::Inconsistent {
+                detail: format!("saved vocabulary contains invalid word {word:?}"),
+            })?;
+        // intern set count to 1; restore the rest in O(1) — the count is
+        // attacker-controlled, so no count-sized loops.
+        vocab.bump_by(id, count.saturating_sub(1));
     }
 
-    need(&bytes, 8 + 4 + 8 + 8 + 8 + 8)?;
+    need(&bytes, "config", 8 + 4 + 8 + 8 + 8 + 4 + 8)?;
     let config = ActorConfig {
         dim: bytes.get_u64_le() as usize,
         learning_rate: bytes.get_f32_le(),
         negatives: bytes.get_u64_le() as usize,
         spatial_bandwidth: bytes.get_f64_le(),
         temporal_bandwidth: bytes.get_f64_le(),
+        grad_clip: bytes.get_f32_le(),
         seed: bytes.get_u64_le(),
         ..ActorConfig::default()
     };
+    if !bytes.is_empty() {
+        return Err(PersistError::TrailingBytes { extra: bytes.len() });
+    }
 
     Ok(ModelMeta {
         space,
@@ -312,6 +374,106 @@ mod tests {
         let mut wrong_magic = buf.to_vec();
         wrong_magic[0] = b'X';
         assert!(TrainedModel::load_bincode_like(Bytes::from(wrong_magic)).is_err());
+    }
+
+    #[test]
+    fn every_truncation_of_the_envelope_errors_without_panicking() {
+        let m = model();
+        let buf = m.save_bincode_like();
+        // Exhaustive truncation over the structured prefix, then strided
+        // over the (large, homogeneous) matrix tail.
+        let dense_prefix = 4096.min(buf.len());
+        let cuts = (0..dense_prefix).chain((dense_prefix..buf.len()).step_by(997));
+        for cut in cuts {
+            let r = TrainedModel::load_bincode_like(buf.slice(0..cut));
+            assert!(r.is_err(), "truncation at {cut} of {} must fail", buf.len());
+        }
+        // The untruncated buffer still loads.
+        TrainedModel::load_bincode_like(buf).unwrap();
+    }
+
+    #[test]
+    fn hostile_length_fields_are_rejected_not_allocated() {
+        let m = model();
+        let base = m.save_bincode_like();
+        // Metadata length claiming more than the buffer holds.
+        let mut evil = base.to_vec();
+        evil[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            TrainedModel::load_bincode_like(Bytes::from(evil)).err(),
+            Some(PersistError::ImplausibleLength {
+                field: "metadata length",
+                claimed: u64::MAX,
+            })
+        );
+        // Spatial-center count near u64::MAX: the checked multiply must
+        // catch the wrap instead of allocating.
+        let mut evil = base.to_vec();
+        let spatial_count_at = 16 + 16; // magic + meta_len, then node space
+        evil[spatial_count_at..spatial_count_at + 8]
+            .copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let r = TrainedModel::load_bincode_like(Bytes::from(evil)).err();
+        assert!(
+            matches!(
+                r,
+                Some(PersistError::ImplausibleLength {
+                    field: "spatial center count",
+                    ..
+                })
+            ),
+            "{r:?}"
+        );
+        // Vocabulary count pointing past the payload (the classic
+        // count-sized-loop DoS) is rejected up front.
+        let (meta, store) = m.to_parts();
+        let mut meta_bytes = super::encode_meta(&meta).to_vec();
+        let vocab_count_at = 16 // node space
+            + 8 + meta.spatial_centers.len() * 16
+            + 8 + meta.temporal_centers.len() * 8
+            + 8; // period
+        meta_bytes[vocab_count_at..vocab_count_at + 8]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(meta_bytes.len() as u64);
+        buf.put_slice(&meta_bytes);
+        buf.put_slice(&store);
+        let r = TrainedModel::load_bincode_like(buf.freeze()).err();
+        assert!(
+            matches!(
+                r,
+                Some(PersistError::ImplausibleLength {
+                    field: "vocabulary count",
+                    ..
+                })
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn random_bit_flips_never_panic_the_loader() {
+        let m = model();
+        let base = m.save_bincode_like();
+        for round in 0..64 {
+            let mut flipped = base.to_vec();
+            resilience::FaultPlan::new(plan_seed(round)).flip_bytes(&mut flipped, 5);
+            // Any outcome but a panic is acceptable: some flips only touch
+            // float payloads and still load.
+            let _ = TrainedModel::load_bincode_like(Bytes::from(flipped));
+        }
+
+        fn plan_seed(round: u64) -> u64 {
+            0xBADC_0DE0 ^ (round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+
+    #[test]
+    fn grad_clip_survives_the_envelope() {
+        let m = model();
+        let buf = m.save_bincode_like();
+        let loaded = TrainedModel::load_bincode_like(buf).unwrap();
+        assert_eq!(loaded.config().grad_clip, m.config().grad_clip);
     }
 
     #[test]

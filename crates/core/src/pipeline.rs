@@ -11,7 +11,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use stgraph::build::RecordUnits;
 use stgraph::{
     ActivityGraph, ActivityGraphBuilder, BuildOptions, EdgeSampler, EdgeType, NegativeTable,
-    NodeType, UserGraph,
+    NodeSpace, NodeType, UserGraph,
 };
 
 use crate::config::ActorConfig;
@@ -71,7 +71,70 @@ pub fn fit(
     }
     let baseline = obs::snapshot();
     let fit_span = obs::span!("core.fit");
+    let prep = prepare(corpus, train_ids, config);
 
+    let train_span = obs::span!("core.fit.train");
+    let mut trace = new_trace();
+    train_epoch_range(&prep, config, 0, config.max_epochs, 1.0, &mut trace);
+    let train_seconds = train_span.finish().as_secs_f64();
+    let total_seconds = fit_span.finish().as_secs_f64();
+
+    let report = FitReport {
+        n_spatial: prep.spatial.len(),
+        n_temporal: prep.temporal.len(),
+        n_nodes: prep.graph.n_nodes(),
+        n_edges: prep.graph.n_edges(),
+        n_user_edges: prep.n_user_edges,
+        pretrained: prep.pretrained,
+        train_seconds,
+        loss_trace: mean_trace(&trace),
+        total_seconds,
+        telemetry: obs::RunTelemetry::since(&baseline),
+    };
+    Ok((prep.into_model(corpus, config), report))
+}
+
+/// Everything Algorithm-1 lines 1–4 produce: the initialized embedding
+/// store plus the immutable training context (graph, samplers, negative
+/// tables) that lines 5–11 consume.
+///
+/// Splitting preparation from training lets the resilience driver
+/// ([`crate::fit_checkpointed`]) run the SGD loop as a sequence of
+/// checkpointed segments over one shared `Prepared` — and swap the store
+/// for a restored snapshot between segments.
+pub(crate) struct Prepared {
+    pub store: EmbeddingStore,
+    pub graph: ActivityGraph,
+    pub units: Vec<RecordUnits>,
+    pub edge_samplers: HashMap<EdgeType, EdgeSampler>,
+    pub neg_tables: HashMap<(EdgeType, NodeType), NegativeTable>,
+    pub spatial: SpatialHotspots,
+    pub temporal: TemporalHotspots,
+    pub space: NodeSpace,
+    pub n_user_edges: usize,
+    pub pretrained: bool,
+}
+
+impl Prepared {
+    /// Consumes the prepared state into a [`TrainedModel`].
+    pub(crate) fn into_model(self, corpus: &Corpus, config: &ActorConfig) -> TrainedModel {
+        TrainedModel {
+            store: self.store,
+            space: self.space,
+            spatial: self.spatial,
+            temporal: self.temporal,
+            vocab: corpus.vocab().clone(),
+            config: config.clone(),
+        }
+    }
+}
+
+/// Algorithm-1 lines 1–4 (hotspots, graphs, LINE pre-training, unit
+/// initialization) plus the sampler and negative-table construction that
+/// lines 5–11 draw from. Deterministic given `(corpus, train_ids,
+/// config)` — resuming a run re-derives this state instead of
+/// checkpointing it.
+pub(crate) fn prepare(corpus: &Corpus, train_ids: &[RecordId], config: &ActorConfig) -> Prepared {
     // Line 1: hotspot detection.
     let hotspot_span = obs::span!("core.fit.hotspot");
     let points: Vec<GeoPoint> = train_ids
@@ -190,42 +253,54 @@ pub fn fit(
         }
     }
 
-    let train_span = obs::span!("core.fit.train");
-    let loss_trace = train_loop(
-        &store,
-        &graph,
-        &units,
-        &edge_samplers,
-        &neg_tables,
-        config,
-    );
-    let train_seconds = train_span.finish().as_secs_f64();
-    let total_seconds = fit_span.finish().as_secs_f64();
-
-    let report = FitReport {
-        n_spatial: spatial.len(),
-        n_temporal: temporal.len(),
-        n_nodes: graph.n_nodes(),
-        n_edges: graph.n_edges(),
-        n_user_edges: user_graph.n_edges(),
-        pretrained,
-        train_seconds,
-        loss_trace,
-        total_seconds,
-        telemetry: obs::RunTelemetry::since(&baseline),
-    };
-    let model = TrainedModel {
+    Prepared {
         store,
-        space,
+        graph,
+        units,
+        edge_samplers,
+        neg_tables,
         spatial,
         temporal,
-        vocab: corpus.vocab().clone(),
-        config: config.clone(),
-    };
-    Ok((model, report))
+        space,
+        n_user_edges: user_graph.n_edges(),
+        pretrained,
+    }
 }
 
-/// Lines 5–11: alternate inter-record and intra-record mini-batches.
+/// Number of progress buckets in [`FitReport::loss_trace`].
+pub(crate) const TRACE_BUCKETS: usize = 20;
+
+/// A fresh `(loss sum, update count)` trace accumulator.
+pub(crate) fn new_trace() -> Vec<(f64, u64)> {
+    vec![(0.0, 0); TRACE_BUCKETS]
+}
+
+/// Collapses a trace accumulator into per-bucket mean losses.
+pub(crate) fn mean_trace(trace: &[(f64, u64)]) -> Vec<f64> {
+    trace
+        .iter()
+        .map(|&(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 })
+        .collect()
+}
+
+/// Aggregate SGD statistics of one trained segment.
+pub(crate) struct SegmentStats {
+    /// Mean per-update loss across the segment (`0.0` when nothing ran);
+    /// the resilience driver feeds this to its divergence detector.
+    pub mean_loss: f64,
+    /// Pair updates performed in the segment.
+    pub updates: u64,
+}
+
+/// Per-thread bucket merge target plus segment loss totals.
+struct TraceMerge {
+    buckets: Vec<(f64, u64)>,
+    loss: f64,
+    updates: u64,
+}
+
+/// Lines 5–11: alternate inter-record and intra-record mini-batches over
+/// epochs `[epoch_start, epoch_end)` of a `config.max_epochs` schedule.
 ///
 /// Per-type batch sizes follow each type's share of the total edge weight:
 /// Eq. 6 sums the *weighted* objectives `J_e = -Σ a_ij log p`, so a type
@@ -233,24 +308,40 @@ pub fn fit(
 /// (Algorithm 1's fixed `m` per type is read as the inner-loop batch
 /// mechanism, not as an equal-weight prior over edge types).
 ///
-/// Work is split as `max_epochs × batches_per_type` rounds distributed
-/// over Hogwild threads, so the total sample budget is independent of the
+/// Work is split as `epochs × batches_per_type` rounds distributed over
+/// Hogwild threads, so the total sample budget is independent of the
 /// thread count (required by the weak-scaling experiment, Fig. 12c).
-fn train_loop(
-    store: &EmbeddingStore,
-    graph: &ActivityGraph,
-    units: &[RecordUnits],
-    edge_samplers: &HashMap<EdgeType, EdgeSampler>,
-    neg_tables: &HashMap<(EdgeType, NodeType), NegativeTable>,
+/// Annealing progress and trace buckets are computed against the *whole*
+/// schedule, so a run cut into checkpointed segments anneals exactly like
+/// an uninterrupted one. `lr_scale` multiplies the learning rate
+/// throughout the segment (the divergence-retry backoff; `1.0` is a
+/// bit-exact no-op).
+pub(crate) fn train_epoch_range(
+    prep: &Prepared,
     config: &ActorConfig,
-) -> Vec<f64> {
-    const TRACE_BUCKETS: usize = 20;
-    // (loss sum, update count) per progress bucket, merged across threads.
-    let trace = parking_lot::Mutex::new(vec![(0.0f64, 0u64); TRACE_BUCKETS]);
+    epoch_start: usize,
+    epoch_end: usize,
+    lr_scale: f32,
+    trace: &mut [(f64, u64)],
+) -> SegmentStats {
+    let total_epochs = config.max_epochs;
+    debug_assert!(epoch_start <= epoch_end && epoch_end <= total_epochs);
+    let span_epochs = epoch_end - epoch_start;
+    let store = &prep.store;
+    let graph = &prep.graph;
+    let units = prep.units.as_slice();
+    let edge_samplers = &prep.edge_samplers;
+    let neg_tables = &prep.neg_tables;
+
+    let merged = parking_lot::Mutex::new(TraceMerge {
+        buckets: new_trace(),
+        loss: 0.0,
+        updates: 0,
+    });
     // Live-throughput counter, flushed once per round (~7m updates) so the
     // SGD hot path never touches shared state.
     let updates_done = obs::counter("core.train.updates");
-    let rounds = (config.max_epochs * config.batches_per_type) as u64;
+    let rounds = (span_epochs * config.batches_per_type) as u64;
     let m = config.batch_size;
 
     // Weight shares over the trained edge types (Eq. 6's implicit mix).
@@ -283,18 +374,46 @@ fn train_loop(
         .map(|&t| (t, (round_budget * type_weight(t) / total_w).round() as usize))
         .collect();
 
-    hogwild::run(config.threads, rounds, config.seed ^ 0xAC7, |_, rng, n| {
+    // Per-segment Hogwild seed. A segment starting at epoch 0 reproduces
+    // the historical whole-run stream (`seed ^ 0xAC7`, the golden-ratio
+    // term multiplies to zero), so plain `fit` is bit-identical to the
+    // pre-resilience pipeline; later segments decorrelate from it.
+    let seed =
+        (config.seed ^ 0xAC7) ^ (epoch_start as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let whole_run = epoch_start == 0 && epoch_end == total_epochs;
+
+    hogwild::run(config.threads, rounds, seed, |_, rng, n| {
         let mut upd = NegativeSamplingUpdate::new(config.dim, config.sgd());
         let lr0 = config.learning_rate;
+        if lr_scale != 1.0 {
+            // Applies the backoff even when annealing is off (the loop
+            // below never calls set_learning_rate then).
+            upd.set_learning_rate(lr_scale * lr0);
+        }
         let mut local = vec![(0.0f64, 0u64); TRACE_BUCKETS];
         for round in 0..n {
-            // Linear annealing to 10% of η over the round budget.
+            // Linear annealing to 10% of η over the *whole-run* budget:
+            // this thread's local round sits at global fraction
+            // (e₀·n + span·round) / (E·n). The whole-run case uses the
+            // reduced form round/n, which is the historical f32 sequence
+            // bit for bit.
             if config.anneal && n > 0 {
-                let progress = round as f32 / n as f32;
-                upd.set_learning_rate(lr0 * (1.0 - 0.9 * progress));
+                let progress = if whole_run {
+                    round as f32 / n as f32
+                } else {
+                    ((epoch_start as f64
+                        + span_epochs as f64 * (round as f64 / n as f64))
+                        / total_epochs as f64) as f32
+                };
+                upd.set_learning_rate(lr_scale * (lr0 * (1.0 - 0.9 * progress)));
             }
-            let bucket = ((round as usize * TRACE_BUCKETS) / n.max(1) as usize)
-                .min(TRACE_BUCKETS - 1);
+            // Trace bucket from the same global fraction, in integer
+            // arithmetic (the shared factors cancel exactly, so the
+            // whole-run case matches the historical `round·B / n`).
+            let num = epoch_start as u64 * n + span_epochs as u64 * round;
+            let den = (total_epochs as u64 * n).max(1);
+            let bucket =
+                ((num * TRACE_BUCKETS as u64 / den) as usize).min(TRACE_BUCKETS - 1);
             let mut round_loss = 0.0f64;
             let mut round_updates = 0u64;
             // Inter-record meta-graph batches (line 6–8).
@@ -331,17 +450,27 @@ fn train_loop(
             local[bucket].1 += round_updates;
             updates_done.add(round_updates);
         }
-        let mut merged = trace.lock();
-        for (m, l) in merged.iter_mut().zip(&local) {
-            m.0 += l.0;
-            m.1 += l.1;
+        let mut merge = merged.lock();
+        for (m, &(sum, count)) in merge.buckets.iter_mut().zip(&local) {
+            m.0 += sum;
+            m.1 += count;
         }
+        merge.loss += local.iter().map(|&(sum, _)| sum).sum::<f64>();
+        merge.updates += local.iter().map(|&(_, count)| count).sum::<u64>();
     });
-    trace
-        .into_inner()
-        .into_iter()
-        .map(|(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 })
-        .collect()
+    let merge = merged.into_inner();
+    for (t, &(sum, count)) in trace.iter_mut().zip(&merge.buckets) {
+        t.0 += sum;
+        t.1 += count;
+    }
+    SegmentStats {
+        mean_loss: if merge.updates == 0 {
+            0.0
+        } else {
+            merge.loss / merge.updates as f64
+        },
+        updates: merge.updates,
+    }
 }
 
 /// One plain edge update with a random direction flip; returns the loss.

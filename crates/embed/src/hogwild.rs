@@ -73,7 +73,14 @@ where
                         .or_else(|| payload.downcast_ref::<&'static str>().copied())
                         .unwrap_or("<non-string panic payload>")
                         .to_string();
-                    failures.lock().unwrap().push((t, detail));
+                    // A sibling worker panicking while holding this lock
+                    // poisons it; the guard's data is still coherent
+                    // (Vec::push never unwinds mid-write here), so recover
+                    // the inner value instead of double-panicking.
+                    failures
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((t, detail));
                 }
             });
         }
@@ -81,7 +88,7 @@ where
     // Scope-level failure without a recorded worker panic would mean the
     // spawn machinery itself failed; surface it rather than swallowing.
     result.expect("hogwild scope failed outside worker closures");
-    let mut failures = failures.into_inner().unwrap();
+    let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
     if !failures.is_empty() {
         failures.sort_unstable_by_key(|(t, _)| *t);
         let (t, detail) = &failures[0];
@@ -176,5 +183,30 @@ mod tests {
             .unwrap_or_default();
         assert!(msg.contains("hogwild worker thread 2 of 4 panicked"), "{msg}");
         assert!(msg.contains("shard 2 corrupt"), "{msg}");
+    }
+
+    #[test]
+    fn two_concurrent_worker_panics_report_the_lowest_shard() {
+        use std::sync::Barrier;
+        // Both workers reach the barrier, then panic together — one of
+        // them will find the failure mutex poisoned by the other. The
+        // driver must still collect both reports and re-raise the
+        // lowest-numbered shard deterministically.
+        let barrier = Barrier::new(2);
+        let result = std::panic::catch_unwind(|| {
+            run(4, 100, 3, |t, _, _| {
+                if t == 1 || t == 3 {
+                    barrier.wait();
+                    panic!("shard {t} corrupt");
+                }
+            });
+        });
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("hogwild worker thread 1 of 4 panicked"), "{msg}");
+        assert!(msg.contains("shard 1 corrupt"), "{msg}");
     }
 }

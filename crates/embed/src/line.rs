@@ -207,6 +207,7 @@ mod tests {
             sgd: SgdParams {
                 learning_rate: 0.05,
                 negatives: 3,
+                grad_clip: 0.0,
             },
             order,
             seed: 42,

@@ -13,15 +13,37 @@ pub struct SgdParams {
     pub learning_rate: f32,
     /// Number of negative samples `K` (Eq. 7).
     pub negatives: usize,
+    /// L2 ceiling on the per-step update applied to any single row
+    /// (`0.0` disables clipping). Healthy training sits orders of
+    /// magnitude below a sane ceiling, so clipping only engages when a
+    /// run is diverging — it bounds the damage a bad learning rate or a
+    /// poisoned record can do before the divergence detector restores a
+    /// checkpoint.
+    pub grad_clip: f32,
 }
 
 impl Default for SgdParams {
     fn default() -> Self {
-        // The paper's settings (§6.1.3): η = 0.02, K = 1.
+        // The paper's settings (§6.1.3): η = 0.02, K = 1. Clipping is off
+        // by default so baselines reproduce the paper's updates verbatim;
+        // the ACTOR pipeline opts in through `ActorConfig::grad_clip`.
         Self {
             learning_rate: 0.02,
             negatives: 1,
+            grad_clip: 0.0,
         }
+    }
+}
+
+/// Scales the logit-gradient `g` down so the update `g · x` applied to a
+/// row keeps an L2 norm at most `clip` (`x_norm` = ‖x‖).
+#[inline]
+fn clip_logit_grad(g: f32, x_norm: f32, clip: f32) -> f32 {
+    let mag = g.abs() * x_norm;
+    if mag > clip {
+        g * (clip / mag)
+    } else {
+        g
     }
 }
 
@@ -108,18 +130,29 @@ impl NegativeSamplingUpdate {
     {
         self.note_step();
         let lr = self.params.learning_rate;
+        let clip = self.params.grad_clip;
         self.grad.iter_mut().for_each(|g| *g = 0.0);
         let mut loss = 0.0f64;
 
         // SAFETY: Hogwild contract — racy f32 rows, see store.rs.
         let x_center = unsafe { store.centers.row_mut_racy(center) };
+        // The center row is only written after the pair loop, so its norm
+        // is stable for the whole step.
+        let center_norm = if clip > 0.0 {
+            crate::math::norm(x_center)
+        } else {
+            0.0
+        };
 
         // Positive pair: label 1.
         {
             let x_ctx = unsafe { store.contexts.row_mut_racy(context) };
             let score = crate::math::dot(x_center, x_ctx);
             let sig = self.sigmoid.value(score);
-            let g = (1.0 - sig) * lr; // −∂J/∂score · η
+            let mut g = (1.0 - sig) * lr; // −∂J/∂score · η
+            if clip > 0.0 {
+                g = clip_logit_grad(g, center_norm, clip);
+            }
             loss -= (sig.max(1e-7) as f64).ln();
             crate::math::axpy(g, x_ctx, &mut self.grad);
             crate::math::axpy(g, x_center, x_ctx);
@@ -134,14 +167,32 @@ impl NegativeSamplingUpdate {
             let x_neg = unsafe { store.contexts.row_mut_racy(neg) };
             let score = crate::math::dot(x_center, x_neg);
             let sig = self.sigmoid.value(score);
-            let g = -sig * lr;
+            let mut g = -sig * lr;
+            if clip > 0.0 {
+                g = clip_logit_grad(g, center_norm, clip);
+            }
             loss -= ((1.0 - sig).max(1e-7) as f64).ln();
             crate::math::axpy(g, x_neg, &mut self.grad);
             crate::math::axpy(g, x_center, x_neg);
         }
 
+        self.clip_accumulated_grad();
         crate::math::axpy(1.0, &self.grad, x_center);
         loss
+    }
+
+    /// Rescales the accumulated center-row gradient so its L2 norm is at
+    /// most `grad_clip` (no-op when clipping is disabled).
+    #[inline]
+    fn clip_accumulated_grad(&mut self) {
+        let clip = self.params.grad_clip;
+        if clip > 0.0 {
+            let norm = crate::math::norm(&self.grad);
+            if norm > clip {
+                let scale = clip / norm;
+                self.grad.iter_mut().for_each(|g| *g *= scale);
+            }
+        }
     }
 
     /// Like [`NegativeSamplingUpdate::step`], but the *center* side is a
@@ -166,6 +217,7 @@ impl NegativeSamplingUpdate {
         self.note_step();
         let dim = store.dim();
         let lr = self.params.learning_rate;
+        let clip = self.params.grad_clip;
         self.grad.iter_mut().for_each(|g| *g = 0.0);
         let mut loss = 0.0f64;
 
@@ -174,12 +226,20 @@ impl NegativeSamplingUpdate {
         for &b in bag {
             crate::math::axpy(1.0, store.centers.row(b), &mut x_sum);
         }
+        let sum_norm = if clip > 0.0 {
+            crate::math::norm(&x_sum)
+        } else {
+            0.0
+        };
 
         {
             let x_ctx = unsafe { store.contexts.row_mut_racy(context) };
             let score = crate::math::dot(&x_sum, x_ctx);
             let sig = self.sigmoid.value(score);
-            let g = (1.0 - sig) * lr;
+            let mut g = (1.0 - sig) * lr;
+            if clip > 0.0 {
+                g = clip_logit_grad(g, sum_norm, clip);
+            }
             loss -= (sig.max(1e-7) as f64).ln();
             crate::math::axpy(g, x_ctx, &mut self.grad);
             crate::math::axpy(g, &x_sum, x_ctx);
@@ -192,12 +252,16 @@ impl NegativeSamplingUpdate {
             let x_neg = unsafe { store.contexts.row_mut_racy(neg) };
             let score = crate::math::dot(&x_sum, x_neg);
             let sig = self.sigmoid.value(score);
-            let g = -sig * lr;
+            let mut g = -sig * lr;
+            if clip > 0.0 {
+                g = clip_logit_grad(g, sum_norm, clip);
+            }
             loss -= ((1.0 - sig).max(1e-7) as f64).ln();
             crate::math::axpy(g, x_neg, &mut self.grad);
             crate::math::axpy(g, &x_sum, x_neg);
         }
 
+        self.clip_accumulated_grad();
         for &b in bag {
             let row = unsafe { store.centers.row_mut_racy(b) };
             crate::math::axpy(1.0, &self.grad, row);
@@ -231,6 +295,7 @@ mod tests {
             SgdParams {
                 learning_rate: 0.1,
                 negatives: 2,
+                grad_clip: 0.0,
             },
         );
         let mut rng = StdRng::seed_from_u64(1);
@@ -251,6 +316,7 @@ mod tests {
             SgdParams {
                 learning_rate: 0.1,
                 negatives: 1,
+                grad_clip: 0.0,
             },
         );
         let mut rng = StdRng::seed_from_u64(2);
@@ -287,6 +353,7 @@ mod tests {
             SgdParams {
                 learning_rate: 0.1,
                 negatives: 1,
+                grad_clip: 0.0,
             },
         );
         let mut rng = StdRng::seed_from_u64(4);
@@ -305,6 +372,7 @@ mod tests {
             SgdParams {
                 learning_rate: 0.1,
                 negatives: 1,
+                grad_clip: 0.0,
             },
         );
         let mut rng = StdRng::seed_from_u64(5);
@@ -333,6 +401,114 @@ mod tests {
     }
 
     #[test]
+    fn grad_clip_bounds_per_step_row_movement() {
+        // An absurd learning rate makes every raw update enormous; with
+        // clipping each row may move at most `clip` per step.
+        let clip = 0.5f32;
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 1e6,
+                negatives: 2,
+                grad_clip: clip,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        for step in 0..200 {
+            let before: Vec<Vec<f32>> = (0..6)
+                .map(|i| s.centers.row(i).to_vec())
+                .chain((0..6).map(|i| s.contexts.row(i).to_vec()))
+                .collect();
+            upd.step(&s, step % 4, 4 + (step % 2), &mut rng, |r| {
+                r.random_range(0..6)
+            });
+            let after: Vec<Vec<f32>> = (0..6)
+                .map(|i| s.centers.row(i).to_vec())
+                .chain((0..6).map(|i| s.contexts.row(i).to_vec()))
+                .collect();
+            for (b, a) in before.iter().zip(&after) {
+                let moved: f32 = b
+                    .iter()
+                    .zip(a)
+                    .map(|(x, y)| (y - x) * (y - x))
+                    .sum::<f32>()
+                    .sqrt();
+                // Context rows can take one clipped update per pair in the
+                // step (positive + K negatives can hit the same row), so
+                // allow (1 + K) × clip with float slack.
+                assert!(
+                    moved <= 3.0 * clip * 1.001,
+                    "step {step}: row moved {moved}, clip {clip}"
+                );
+                assert!(a.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn grad_clip_keeps_bag_updates_finite_under_huge_lr() {
+        let s = store(8);
+        let mut upd = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 1e5,
+                negatives: 3,
+                grad_clip: 1.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(10);
+        for step in 0..500 {
+            upd.step_bag(&s, &[0, 1, 2], 3 + (step % 3), &mut rng, |r| {
+                r.random_range(0..6)
+            });
+        }
+        for i in 0..6 {
+            assert!(s.centers.row(i).iter().all(|x| x.is_finite()), "row {i}");
+            assert!(s.contexts.row(i).iter().all(|x| x.is_finite()), "row {i}");
+        }
+    }
+
+    #[test]
+    fn zero_clip_matches_unclipped_updates_exactly() {
+        // grad_clip = 0.0 must be byte-for-byte the historical behavior;
+        // compare against a copy trained with a clip too large to engage.
+        let a = store(8);
+        let b = store(8);
+        let mut upd_a = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 0.05,
+                negatives: 2,
+                grad_clip: 0.0,
+            },
+        );
+        let mut upd_b = NegativeSamplingUpdate::new(
+            8,
+            SgdParams {
+                learning_rate: 0.05,
+                negatives: 2,
+                grad_clip: 1e30,
+            },
+        );
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        for step in 0..300 {
+            let la = upd_a.step(&a, step % 4, 4 + (step % 2), &mut rng_a, |r| {
+                r.random_range(0..6)
+            });
+            let lb = upd_b.step(&b, step % 4, 4 + (step % 2), &mut rng_b, |r| {
+                r.random_range(0..6)
+            });
+            assert_eq!(la, lb);
+        }
+        for i in 0..6 {
+            assert_eq!(a.centers.row(i), b.centers.row(i));
+            assert_eq!(a.contexts.row(i), b.contexts.row(i));
+        }
+    }
+
+    #[test]
     fn vectors_stay_finite() {
         let s = store(8);
         let mut upd = NegativeSamplingUpdate::new(
@@ -340,6 +516,7 @@ mod tests {
             SgdParams {
                 learning_rate: 0.5, // aggressive
                 negatives: 3,
+                grad_clip: 0.0,
             },
         );
         let mut rng = StdRng::seed_from_u64(8);

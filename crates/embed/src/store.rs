@@ -102,16 +102,37 @@ impl Matrix {
         self.row_mut(i).copy_from_slice(src);
     }
 
-    /// Serializes to a compact LE byte layout: `n`, `dim`, then payload.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.n * self.dim * 4);
+    /// Serialized size of this matrix in bytes.
+    pub(crate) fn byte_len(&self) -> usize {
+        16 + self.n * self.dim * 4
+    }
+
+    /// Appends the compact LE byte layout (`n`, `dim`, payload) to `buf`.
+    /// Checkpointing serializes multi-megabyte stores on the training
+    /// critical path, so the little-endian (i.e. every supported) target
+    /// takes a single bulk copy instead of a per-element conversion.
+    pub(crate) fn append_bytes(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.n as u64);
         buf.put_u64_le(self.dim as u64);
-        unsafe {
-            for &x in (*self.data.get()).iter() {
+        let data = unsafe { &*self.data.get() };
+        if cfg!(target_endian = "little") {
+            // Safety: f32 has no invalid bit patterns and a native-LE
+            // [f32] has exactly the `to_le_bytes` byte layout.
+            let raw = unsafe {
+                std::slice::from_raw_parts(data.as_ptr() as *const u8, data.len() * 4)
+            };
+            buf.put_slice(raw);
+        } else {
+            for &x in data.iter() {
                 buf.put_f32_le(x);
             }
         }
+    }
+
+    /// Serializes to a compact LE byte layout: `n`, `dim`, then payload.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.byte_len());
+        self.append_bytes(&mut buf);
         buf.freeze()
     }
 
@@ -190,12 +211,11 @@ impl EmbeddingStore {
 
     /// Serializes both matrices.
     pub fn to_bytes(&self) -> Bytes {
-        let c = self.centers.to_bytes();
-        let x = self.contexts.to_bytes();
-        let mut buf = BytesMut::with_capacity(8 + c.len() + x.len());
-        buf.put_u64_le(c.len() as u64);
-        buf.put_slice(&c);
-        buf.put_slice(&x);
+        let c_len = self.centers.byte_len();
+        let mut buf = BytesMut::with_capacity(8 + c_len + self.contexts.byte_len());
+        buf.put_u64_le(c_len as u64);
+        self.centers.append_bytes(&mut buf);
+        self.contexts.append_bytes(&mut buf);
         buf.freeze()
     }
 

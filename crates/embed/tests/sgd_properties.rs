@@ -22,6 +22,7 @@ proptest! {
         let mut upd = NegativeSamplingUpdate::new(dim, SgdParams {
             learning_rate: lr,
             negatives: 1,
+            grad_clip: 0.0,
         });
         let before = dot(store.centers.row(0), store.contexts.row(1));
         upd.step(&store, 0, 1, &mut rng, |_| 2usize);
@@ -42,6 +43,7 @@ proptest! {
         let mut upd = NegativeSamplingUpdate::new(16, SgdParams {
             learning_rate: lr,
             negatives,
+            grad_clip: 0.0,
         });
         for i in 0..steps {
             let c = i % 4;
@@ -68,7 +70,7 @@ proptest! {
             EmbeddingStore::init(5, 8, &mut r)
         };
         let store_b = store_a.clone();
-        let params = SgdParams { learning_rate: 0.1, negatives: 2 };
+        let params = SgdParams { learning_rate: 0.1, negatives: 2, grad_clip: 0.0 };
         let mut upd_a = NegativeSamplingUpdate::new(8, params);
         let mut upd_b = NegativeSamplingUpdate::new(8, params);
         let la = upd_a.step(&store_a, 0, 1, &mut rng_a, |_| 3usize);
@@ -93,6 +95,7 @@ fn hogwild_stress_shared_rows() {
             SgdParams {
                 learning_rate: 0.05,
                 negatives: 2,
+                grad_clip: 0.0,
             },
         );
         for _ in 0..n {

@@ -59,6 +59,60 @@ impl fmt::Display for MobilityError {
 
 impl std::error::Error for MobilityError {}
 
+/// A failed lenient ingest (see [`crate::io::parse_tsv_lenient`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The fraction of malformed lines exceeded the configured budget —
+    /// the input looks systematically broken, not merely noisy.
+    BudgetExceeded {
+        /// Malformed data lines seen so far.
+        bad: usize,
+        /// Data lines seen so far (good + bad).
+        seen: usize,
+        /// The configured ceiling on `bad / seen`.
+        max_fraction: f64,
+        /// 1-based line number where the budget check tripped.
+        line: usize,
+    },
+    /// The surviving records did not form a valid corpus (e.g. every
+    /// line was skipped).
+    Corpus(MobilityError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::BudgetExceeded {
+                bad,
+                seen,
+                max_fraction,
+                line,
+            } => write!(
+                f,
+                "error budget exceeded at line {line}: {bad} of {seen} data lines malformed \
+                 (budget {:.2}%)",
+                max_fraction * 100.0
+            ),
+            IngestError::Corpus(e) => write!(f, "ingest produced no usable corpus: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Corpus(e) => Some(e),
+            IngestError::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<MobilityError> for IngestError {
+    fn from(e: MobilityError) -> Self {
+        IngestError::Corpus(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@ pub mod types;
 pub mod vocab;
 
 pub use corpus::{Corpus, CorpusStats};
-pub use error::MobilityError;
+pub use error::{IngestError, MobilityError};
 pub use split::{CorpusSplit, SplitSpec};
 pub use types::{GeoPoint, KeywordId, Record, RecordId, Timestamp, UserId, SECONDS_PER_DAY, SECONDS_PER_WEEK};
 pub use vocab::Vocabulary;

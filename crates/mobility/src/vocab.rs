@@ -96,6 +96,17 @@ impl Vocabulary {
         self.counts[id.idx()] += 1;
     }
 
+    /// Adds `n` to the frequency count of an existing keyword in O(1).
+    ///
+    /// Deserializers restoring saved counts must use this instead of
+    /// looping over [`Vocabulary::bump`]: a count field is attacker-
+    /// controlled in an untrusted envelope, and a `u64`-sized loop is a
+    /// denial of service.
+    pub fn bump_by(&mut self, id: KeywordId, n: u64) {
+        let c = &mut self.counts[id.idx()];
+        *c = c.saturating_add(n);
+    }
+
     /// Iterates `(id, word, count)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &str, u64)> + '_ {
         self.words

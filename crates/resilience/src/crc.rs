@@ -1,0 +1,118 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for checkpoint trailers.
+//!
+//! A checksum — not a cryptographic MAC: the threat model is torn writes
+//! and bit rot, not an adversary forging checkpoints. Checkpoint
+//! payloads are multi-megabyte embedding stores written on the training
+//! critical path, so throughput matters: the hot loop uses slicing-by-8
+//! (eight compile-time tables, one 8-byte chunk per iteration), several
+//! times faster than the classic one-lookup-per-byte form.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+/// Incremental CRC-32: feed chunks with [`Crc32::update`], take the
+/// final value with [`Crc32::finish`]. Lets the checkpoint writer
+/// checksum header and payload without concatenating them first.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = c ^ u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes"));
+            c = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][chunk[4] as usize]
+                ^ TABLES[2][chunk[5] as usize]
+                ^ TABLES[1][chunk[6] as usize]
+                ^ TABLES[0][chunk[7] as usize];
+        }
+        for &b in chunks.remainder() {
+            c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The CRC-32 of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC-32 of `data` (the common `crc32` as used by zip/png/ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"checkpoint payload bytes");
+        let mut corrupted = b"checkpoint payload bytes".to_vec();
+        for i in 0..corrupted.len() {
+            corrupted[i] ^= 0x01;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
+            corrupted[i] ^= 0x01;
+        }
+        assert_eq!(crc32(&corrupted), base);
+    }
+}

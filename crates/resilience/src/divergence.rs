@@ -1,0 +1,148 @@
+//! Loss-window divergence detection.
+//!
+//! The SGD loop reports the mean per-update loss of each training
+//! segment; the detector flags three failure shapes:
+//!
+//! 1. **Non-finite** — any NaN/∞ mean is an unconditional divergence
+//!    (something already overflowed).
+//! 2. **Absolute ceiling** — the negative-sampling loss of one update is
+//!    bounded by ≈ `(1 + K) · 16.1` nats (the sigmoid table saturates at
+//!    `σ = 1e-7`), so a mean above the configured ceiling means the model
+//!    is pinned at saturation, not learning.
+//! 3. **Relative explosion** — the mean exceeds `factor ×` the best
+//!    (lowest) segment mean seen so far: training that had converged and
+//!    then blew up.
+
+/// Outcome of observing one segment's mean loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Loss looks sane; training may continue.
+    Healthy,
+    /// Training diverged; restore a checkpoint and back off.
+    Diverged(DivergenceReason),
+}
+
+/// Why the detector tripped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DivergenceReason {
+    /// The mean loss was NaN or infinite.
+    NonFinite,
+    /// The mean loss exceeded the absolute per-update ceiling.
+    AboveCeiling {
+        /// Observed mean.
+        mean: f64,
+        /// Configured ceiling.
+        ceiling: f64,
+    },
+    /// The mean loss exploded relative to the best segment so far.
+    Exploded {
+        /// Observed mean.
+        mean: f64,
+        /// Best (lowest) segment mean previously observed.
+        best: f64,
+    },
+}
+
+/// Streaming divergence detector over segment mean losses.
+#[derive(Debug, Clone)]
+pub struct DivergenceDetector {
+    factor: f64,
+    ceiling: f64,
+    best: Option<f64>,
+}
+
+impl DivergenceDetector {
+    /// `factor` = relative-explosion multiplier (≥ 1); `ceiling` =
+    /// absolute mean-loss-per-update ceiling.
+    pub fn new(factor: f64, ceiling: f64) -> Self {
+        Self {
+            factor: factor.max(1.0),
+            ceiling,
+            best: None,
+        }
+    }
+
+    /// The best (lowest) segment mean observed so far.
+    pub fn best(&self) -> Option<f64> {
+        self.best
+    }
+
+    /// Feeds one segment's mean per-update loss.
+    pub fn observe(&mut self, mean: f64) -> Verdict {
+        if !mean.is_finite() {
+            return Verdict::Diverged(DivergenceReason::NonFinite);
+        }
+        if mean > self.ceiling {
+            return Verdict::Diverged(DivergenceReason::AboveCeiling {
+                mean,
+                ceiling: self.ceiling,
+            });
+        }
+        if let Some(best) = self.best {
+            if mean > self.factor * best.max(1e-9) {
+                return Verdict::Diverged(DivergenceReason::Exploded { mean, best });
+            }
+        }
+        self.best = Some(self.best.map_or(mean, |b| b.min(mean)));
+        Verdict::Healthy
+    }
+}
+
+impl Default for DivergenceDetector {
+    /// `factor = 4`, `ceiling = 50` nats/update — far above any healthy
+    /// negative-sampling loss, far below saturation with several
+    /// negatives.
+    fn default() -> Self {
+        Self::new(4.0, 50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_decreasing_losses_pass() {
+        let mut d = DivergenceDetector::default();
+        for loss in [1.4, 1.1, 0.9, 0.7, 0.69] {
+            assert_eq!(d.observe(loss), Verdict::Healthy);
+        }
+        assert_eq!(d.best(), Some(0.69));
+    }
+
+    #[test]
+    fn non_finite_trips_immediately() {
+        let mut d = DivergenceDetector::default();
+        assert_eq!(
+            d.observe(f64::NAN),
+            Verdict::Diverged(DivergenceReason::NonFinite)
+        );
+        assert_eq!(
+            d.observe(f64::INFINITY),
+            Verdict::Diverged(DivergenceReason::NonFinite)
+        );
+    }
+
+    #[test]
+    fn ceiling_trips_even_on_first_segment() {
+        let mut d = DivergenceDetector::new(4.0, 50.0);
+        assert!(matches!(
+            d.observe(64.2),
+            Verdict::Diverged(DivergenceReason::AboveCeiling { .. })
+        ));
+    }
+
+    #[test]
+    fn relative_explosion_trips_after_convergence() {
+        let mut d = DivergenceDetector::new(4.0, 50.0);
+        assert_eq!(d.observe(1.0), Verdict::Healthy);
+        assert_eq!(d.observe(0.5), Verdict::Healthy);
+        // 0.5 * 4 = 2.0; 3.0 explodes.
+        assert!(matches!(
+            d.observe(3.0),
+            Verdict::Diverged(DivergenceReason::Exploded { best, .. }) if best == 0.5
+        ));
+        // A diverged observation does not poison `best`.
+        assert_eq!(d.best(), Some(0.5));
+    }
+}

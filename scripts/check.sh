@@ -9,6 +9,9 @@ cargo build --workspace --release
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== resilience acceptance suite =="
+cargo test -q --test resilience
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -40,6 +40,7 @@
 //! | [`core`] | the ACTOR pipeline, model, and ablation variants |
 //! | [`baselines`] | LGTA, MGTM, metapath2vec, LINE(U), CrossMap(U) |
 //! | [`eval`] | MRR, prediction tasks, neighbor search, case studies |
+//! | [`resilience`] | checkpoint envelopes, retry/divergence policies, fault injection |
 
 pub use actor_core as core;
 pub use baselines;
@@ -47,16 +48,21 @@ pub use embed;
 pub use evalkit as eval;
 pub use hotspot;
 pub use mobility;
+pub use resilience;
 pub use stgraph;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use actor_core::{fit, ActorConfig, TrainedModel, Variant};
+    pub use actor_core::{
+        fit, fit_checkpointed, fit_resume, ActorConfig, ResilienceOptions, ResilienceReport,
+        TrainedModel, Variant,
+    };
     pub use evalkit::{
         evaluate_mrr, CrossModalModel, EvalParams, PredictionTask,
     };
     pub use mobility::synth::{generate, DatasetPreset};
     pub use mobility::{Corpus, CorpusSplit, GeoPoint, Record, SplitSpec};
+    pub use resilience::{CheckpointPolicy, FaultPlan, RetryPolicy};
 }
 
 #[cfg(test)]
