@@ -7,7 +7,7 @@
 
 use baselines::{train_crossmap, BaselineParams, CrossMapVariant, Substrate};
 use benchkit::{dataset, Flags, ZooConfig};
-use evalkit::neighbor::{spatial_query, temporal_query, textual_query, NeighborReport};
+use evalkit::neighbor::{NeighborReport, NeighborSearcher};
 use evalkit::report::Table;
 use mobility::GeoPoint;
 
@@ -83,14 +83,18 @@ fn main() {
     );
     let cm = crossmap.model();
     let k = 10;
+    // One searcher per model: the snapshot, scratch buffers, and cache are
+    // built once and reused across all three figures' queries.
+    let actor_search = NeighborSearcher::new(&actor);
+    let cm_search = NeighborSearcher::new(cm);
 
     // Fig. 9 analogue: the "port" activity's anchor inside the LA bbox.
     // (The paper queries the port of LA at (33.7395, -118.2599).)
     let port = GeoPoint::new(33.7175, -118.2470);
     print_side_by_side(
         "Fig. 9: spatial query at the port anchor",
-        &spatial_query(&actor, port, k),
-        &spatial_query(cm, port, k),
+        &actor_search.spatial(port, k),
+        &cm_search.spatial(port, k),
     );
     println!("expected: ACTOR's words are port-specific (dock/ship/berth...),\nCrossMap drifts to generic chatter.\n");
 
@@ -98,16 +102,16 @@ fn main() {
     let ten_pm = 22.0 * 3600.0;
     print_side_by_side(
         "Fig. 10: temporal query at 22:00",
-        &temporal_query(&actor, ten_pm, k),
-        &temporal_query(cm, ten_pm, k),
+        &actor_search.temporal(ten_pm, k),
+        &cm_search.temporal(ten_pm, k),
     );
     println!("expected: both return late-evening hotspots; ACTOR's words name\nspecific nighttime activities.\n");
 
     // Fig. 11 analogue: a venue keyword (the paper queries a sports pub).
     let venue = "stadium_venue_0_00";
     match (
-        textual_query(&actor, venue, k),
-        textual_query(cm, venue, k),
+        actor_search.textual(venue, k),
+        cm_search.textual(venue, k),
     ) {
         (Some(a), Some(b)) => {
             print_side_by_side(&format!("Fig. 11: textual query \"{venue}\""), &a, &b);

@@ -26,6 +26,7 @@ pub mod model;
 pub mod online;
 pub mod persist;
 pub mod pipeline;
+pub mod publish;
 pub mod resilient;
 
 pub use ablation::Variant;
@@ -35,4 +36,5 @@ pub use model::TrainedModel;
 pub use online::{OnlineActor, OnlineParams};
 pub use persist::ModelMeta;
 pub use pipeline::{fit, FitReport};
+pub use publish::{fit_resume_with_sink, fit_with_sink, ModelSink, NullSink};
 pub use resilient::{fit_checkpointed, fit_resume, ResilienceOptions, ResilienceReport};

@@ -14,6 +14,11 @@ use crate::config::ActorConfig;
 /// center vector; queries map raw modalities (a point, a timestamp, a bag
 /// of words) onto unit vectors and rank candidates by cosine similarity,
 /// exactly the prediction procedure of §6.2.1.
+///
+/// `Clone` deep-copies the embedding store: that is what lets a serving
+/// snapshot freeze the model while training (checkpoint restore, online
+/// updates) keeps mutating the original.
+#[derive(Clone)]
 pub struct TrainedModel {
     pub(crate) store: EmbeddingStore,
     pub(crate) space: NodeSpace,

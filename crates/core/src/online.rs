@@ -21,6 +21,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use stgraph::{NodeId, NodeType};
 
 use crate::model::TrainedModel;
+use crate::publish::ModelSink;
 
 /// Streaming-update parameters.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +80,8 @@ pub struct OnlineActor {
     observed: u64,
     skipped_words: u64,
     skipped_records: u64,
+    /// Snapshot sink plus publication cadence in observed records.
+    sink: Option<(std::sync::Arc<dyn ModelSink>, u64)>,
 }
 
 impl OnlineActor {
@@ -100,9 +103,23 @@ impl OnlineActor {
             observed: 0,
             skipped_words: 0,
             skipped_records: 0,
+            sink: None,
             model,
             params,
         }
+    }
+
+    /// Publishes the continuously updated model to `sink` every `every`
+    /// successfully observed records (and once immediately, so the sink is
+    /// never behind the wrapped model). This is how a serving engine
+    /// tracks a live stream: attach its publisher here and readers pick up
+    /// a fresh snapshot on the cadence without ever locking the stream.
+    ///
+    /// Panics if `every` is zero.
+    pub fn attach_sink(&mut self, sink: std::sync::Arc<dyn ModelSink>, every: u64) {
+        assert!(every > 0, "publication cadence must be positive");
+        sink.publish(&self.model);
+        self.sink = Some((sink, every));
     }
 
     /// The wrapped (continuously updated) model.
@@ -234,6 +251,11 @@ impl OnlineActor {
         }
         self.buffer.push_back(units);
         self.observed += 1;
+        if let Some((sink, every)) = &self.sink {
+            if self.observed.is_multiple_of(*every) {
+                sink.publish(&self.model);
+            }
+        }
         true
     }
 
@@ -368,6 +390,32 @@ mod tests {
             after > before,
             "streaming should align beach with 03:00: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn attached_sink_receives_snapshots_on_cadence() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        struct Count(AtomicU64);
+        impl crate::publish::ModelSink for Count {
+            fn publish(&self, _m: &TrainedModel) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let (corpus, split, model) = fitted();
+        let mut online = OnlineActor::new(model, OnlineParams::default());
+        let sink = Arc::new(Count(AtomicU64::new(0)));
+        online.attach_sink(sink.clone(), 10);
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1, "immediate publish");
+        let mut accepted = 0u64;
+        for &rid in split.valid.iter() {
+            if online.observe(corpus.record(rid)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1 + accepted / 10);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Snapshot publication: the hook that connects training to serving.
+//!
+//! A serving layer (see `crates/serve`) wants to pick up fresh models the
+//! moment training produces them — at the end of a batch fit, after a
+//! checkpoint-restored resume, or every N records of a streaming update —
+//! without `core` depending on any particular serving implementation.
+//! [`ModelSink`] is that seam: anything that can absorb a finished
+//! [`TrainedModel`] implements it, and the training entry points accept
+//! one.
+
+use mobility::{Corpus, RecordId};
+
+use crate::config::ActorConfig;
+use crate::error::FitError;
+use crate::model::TrainedModel;
+use crate::pipeline::{fit, FitReport};
+use crate::resilient::{fit_resume, ResilienceOptions, ResilienceReport};
+
+/// A destination for freshly trained models.
+///
+/// Implementations must tolerate being called from whatever thread runs
+/// training and should do their heavy lifting (index builds, snapshot
+/// swaps) without blocking for long — `publish` sits on the training
+/// thread's critical path.
+pub trait ModelSink: Send + Sync {
+    /// Absorbs a finished model. The sink receives a borrow and copies
+    /// what it needs (`TrainedModel` is `Clone`); training retains
+    /// ownership and may keep mutating its copy afterwards.
+    fn publish(&self, model: &TrainedModel);
+}
+
+/// A sink that drops every model; useful as a default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ModelSink for NullSink {
+    fn publish(&self, _model: &TrainedModel) {}
+}
+
+/// [`fit`](crate::pipeline::fit), then publish the finished model to
+/// `sink` before returning it — so a query engine starts answering from
+/// the new model in the same breath the training call completes.
+pub fn fit_with_sink(
+    corpus: &Corpus,
+    train_ids: &[RecordId],
+    config: &ActorConfig,
+    sink: &dyn ModelSink,
+) -> Result<(TrainedModel, FitReport), FitError> {
+    let (model, report) = fit(corpus, train_ids, config)?;
+    sink.publish(&model);
+    Ok((model, report))
+}
+
+/// [`fit_resume`](crate::resilient::fit_resume), then publish the
+/// recovered-and-finished model to `sink` — the restart path of a serving
+/// deployment: crash, resume from the newest intact checkpoint, republish.
+pub fn fit_resume_with_sink(
+    corpus: &Corpus,
+    train_ids: &[RecordId],
+    config: &ActorConfig,
+    opts: &ResilienceOptions,
+    sink: &dyn ModelSink,
+) -> Result<(TrainedModel, FitReport, ResilienceReport), FitError> {
+    let (model, report, resilience) = fit_resume(corpus, train_ids, config, opts)?;
+    sink.publish(&model);
+    Ok((model, report, resilience))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, SplitSpec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingSink {
+        published: AtomicUsize,
+        nodes_seen: AtomicUsize,
+    }
+
+    impl ModelSink for CountingSink {
+        fn publish(&self, model: &TrainedModel) {
+            self.published.fetch_add(1, Ordering::SeqCst);
+            self.nodes_seen.store(model.space().len(), Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn fit_with_sink_publishes_the_finished_model() {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(5)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let sink = CountingSink {
+            published: AtomicUsize::new(0),
+            nodes_seen: AtomicUsize::new(0),
+        };
+        let (model, _) =
+            fit_with_sink(&corpus, &split.train, &ActorConfig::fast(), &sink).unwrap();
+        assert_eq!(sink.published.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.nodes_seen.load(Ordering::SeqCst), model.space().len());
+    }
+
+    #[test]
+    fn cloned_model_is_independent_of_the_original() {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(6)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        let (mut model, _) = fit(&corpus, &split.train, &ActorConfig::fast()).unwrap();
+        let frozen = model.clone();
+        let before: Vec<f32> = frozen.store().centers.row(0).to_vec();
+        // Mutate the original; the clone must not move.
+        model.store.centers.row_mut(0).fill(123.0);
+        assert_eq!(frozen.store().centers.row(0), before.as_slice());
+        assert!(model.store().centers.row(0).iter().all(|&x| x == 123.0));
+    }
+}

@@ -46,6 +46,39 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
     }
 }
 
+/// Writes the unit-normalized `src` into `dst`; a zero vector stays zero.
+///
+/// Normalizing once — at snapshot build or before a batch of queries —
+/// turns every later cosine into a plain dot product ([`dot_unit`]), which
+/// is the shared ranking kernel of the exact scan, the HNSW index, and the
+/// neighbor-search path.
+#[inline]
+pub fn normalize_into(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let n = norm(src);
+    if n == 0.0 || !n.is_finite() {
+        dst.fill(0.0);
+    } else {
+        let inv = 1.0 / n;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = s * inv;
+        }
+    }
+}
+
+/// Dot product widened to f64 — on unit vectors this *is* the cosine
+/// similarity, without the two norms [`cosine`] recomputes per call.
+/// Callers must pre-normalize both sides (see [`normalize_into`]).
+#[inline]
+pub fn dot_unit(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as f64 * y as f64;
+    }
+    acc
+}
+
 /// Sums `vectors` element-wise into a fresh vector; the bag-of-words
 /// representation of footnote 4. Returns zeros when `vectors` is empty.
 pub fn sum_of(vectors: &[&[f32]], dim: usize) -> Vec<f32> {
@@ -106,6 +139,30 @@ mod tests {
         let b = [1.5f32, 0.4, -0.9];
         let a2: Vec<f32> = a.iter().map(|x| x * 10.0).collect();
         assert!((cosine(&a, &b) - cosine(&a2, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_into_produces_unit_vectors() {
+        let src = [3.0f32, 4.0];
+        let mut dst = [0.0f32; 2];
+        normalize_into(&src, &mut dst);
+        assert!((norm(&dst) - 1.0).abs() < 1e-6);
+        assert!((dst[0] - 0.6).abs() < 1e-6);
+
+        // Zero stays zero rather than becoming NaN.
+        let mut z = [1.0f32; 2];
+        normalize_into(&[0.0, 0.0], &mut z);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_unit_matches_cosine_after_normalization() {
+        let a = [0.3f32, -0.7, 0.2, 1.1];
+        let b = [1.5f32, 0.4, -0.9, 0.05];
+        let (mut ua, mut ub) = ([0.0f32; 4], [0.0f32; 4]);
+        normalize_into(&a, &mut ua);
+        normalize_into(&b, &mut ub);
+        assert!((dot_unit(&ua, &ub) - cosine(&a, &b)).abs() < 1e-6);
     }
 
     #[test]

@@ -238,6 +238,49 @@ impl EmbeddingStore {
     }
 }
 
+/// A read-only unit-normalized copy of a matrix's rows.
+///
+/// Serving ranks candidates by cosine similarity; normalizing every row
+/// *once* at snapshot build turns each per-candidate cosine into a plain
+/// dot product ([`crate::math::dot_unit`]). The copy is immutable and
+/// detached from the live (possibly Hogwild-mutated) training matrix, so
+/// readers see a frozen, torn-write-free view.
+#[derive(Debug, Clone)]
+pub struct NormalizedRows {
+    data: Vec<f32>,
+    n: usize,
+    dim: usize,
+}
+
+impl NormalizedRows {
+    /// Copies and unit-normalizes every row of `m` (zero rows stay zero).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let (n, dim) = (m.n_rows(), m.dim());
+        let mut data = vec![0.0f32; n * dim];
+        for i in 0..n {
+            crate::math::normalize_into(m.row(i), &mut data[i * dim..(i + 1) * dim]);
+        }
+        Self { data, n, dim }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The unit-normalized row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.n, "row {i} out of {}", self.n);
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +372,25 @@ mod tests {
             assert_eq!(s.centers.row(i), s2.centers.row(i));
             assert_eq!(s.contexts.row(i), s2.contexts.row(i));
         }
+    }
+
+    #[test]
+    fn normalized_rows_are_unit_length_and_aligned() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = Matrix::zeros(6, 16);
+        m.init_uniform(&mut rng);
+        m.set_row(5, &[0.0; 16]); // a zero row must survive as zeros
+        let norms = NormalizedRows::from_matrix(&m);
+        assert_eq!(norms.n_rows(), 6);
+        assert_eq!(norms.dim(), 16);
+        for i in 0..5 {
+            let len = crate::math::norm(norms.row(i));
+            assert!((len - 1.0).abs() < 1e-5, "row {i} norm {len}");
+            // Same direction as the source row.
+            let cos = crate::math::cosine(m.row(i), norms.row(i));
+            assert!((cos - 1.0).abs() < 1e-6);
+        }
+        assert!(norms.row(5).iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! units of each modality — the tables the paper prints next to the LA
 //! map (top words and times for a place; top words for a time of day;
 //! top words, places, and times for a venue keyword).
+//!
+//! Since the serving engine landed, this module is a presentation layer
+//! over [`serve::QueryEngine`]: the engine owns the scoring kernel
+//! (`embed::math::dot_unit` over rows normalized once per snapshot), the
+//! reusable search scratch, and the result cache, so repeated queries no
+//! longer clone query vectors or rebuild candidate lists per call. Build a
+//! [`NeighborSearcher`] once and reuse it; the free functions remain for
+//! one-off queries and construct a throwaway searcher internally.
 
 use actor_core::TrainedModel;
 use mobility::{types::format_time_of_day, GeoPoint};
-use stgraph::{NodeId, NodeType};
+use serve::{EngineParams, QueryEngine, QueryRequest, QueryResponse};
 
 /// Result of a neighbor query: top-k per modality.
 #[derive(Debug, Clone)]
@@ -22,65 +30,97 @@ pub struct NeighborReport {
     pub places: Vec<(GeoPoint, f64)>,
 }
 
+impl NeighborReport {
+    fn from_response(r: QueryResponse) -> Self {
+        Self {
+            query: r.query,
+            words: r.words,
+            times: r
+                .times
+                .into_iter()
+                .map(|(s, score)| (format_time_of_day(s), score))
+                .collect(),
+            places: r.places,
+        }
+    }
+}
+
+/// A reusable neighbor-search handle: one frozen snapshot of the model,
+/// one set of per-thread scratch buffers, one cache — amortized across
+/// every query it answers.
+pub struct NeighborSearcher {
+    engine: QueryEngine,
+}
+
+impl NeighborSearcher {
+    /// Freezes `model` into a serving snapshot. Eval-sized models sit
+    /// below the ANN threshold, so answers stay exact (identical ranking
+    /// to scanning the model directly).
+    pub fn new(model: &TrainedModel) -> Self {
+        Self {
+            engine: QueryEngine::new(model.clone(), EngineParams::default()),
+        }
+    }
+
+    /// Wraps an engine that is already serving (shares its snapshot,
+    /// cache, and index mode).
+    pub fn from_engine(engine: QueryEngine) -> Self {
+        Self { engine }
+    }
+
+    /// The engine underneath (e.g. for stats).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Spatial query: the hotspot nearest `point` (Fig. 9).
+    pub fn spatial(&self, point: GeoPoint, k: usize) -> NeighborReport {
+        let r = self
+            .engine
+            .query(&QueryRequest::spatial(point, k))
+            .expect("spatial queries cannot fail");
+        NeighborReport::from_response(r)
+    }
+
+    /// Temporal query: the hotspot nearest a second-of-day (Fig. 10).
+    pub fn temporal(&self, second_of_day: f64, k: usize) -> NeighborReport {
+        let r = self
+            .engine
+            .query(&QueryRequest::temporal(second_of_day, k))
+            .expect("temporal queries cannot fail");
+        NeighborReport::from_response(r)
+    }
+
+    /// Textual query on a vocabulary keyword (Fig. 11); `None` for
+    /// out-of-vocabulary words.
+    pub fn textual(&self, word: &str, k: usize) -> Option<NeighborReport> {
+        self.engine
+            .query(&QueryRequest::keyword(word, k))
+            .ok()
+            .map(NeighborReport::from_response)
+    }
+}
+
 /// Runs a spatial query: the hotspot nearest `point` (Fig. 9).
+///
+/// One-off convenience; for repeated queries build a [`NeighborSearcher`].
 pub fn spatial_query(model: &TrainedModel, point: GeoPoint, k: usize) -> NeighborReport {
-    let node = model.location_node(point);
-    let query = model.vector(node).to_vec();
-    report(model, format!("location ({:.4}, {:.4})", point.lat, point.lon), &query, k)
+    NeighborSearcher::new(model).spatial(point, k)
 }
 
 /// Runs a temporal query: the hotspot nearest a second-of-day (Fig. 10).
+///
+/// One-off convenience; for repeated queries build a [`NeighborSearcher`].
 pub fn temporal_query(model: &TrainedModel, second_of_day: f64, k: usize) -> NeighborReport {
-    let node = model.time_of_day_node(second_of_day);
-    let query = model.vector(node).to_vec();
-    report(
-        model,
-        format!("time {}", format_time_of_day(second_of_day)),
-        &query,
-        k,
-    )
+    NeighborSearcher::new(model).temporal(second_of_day, k)
 }
 
 /// Runs a textual query on a vocabulary keyword (Fig. 11). Returns `None`
 /// for out-of-vocabulary words.
+///
+/// One-off convenience; for repeated queries build a [`NeighborSearcher`].
 pub fn textual_query(model: &TrainedModel, word: &str, k: usize) -> Option<NeighborReport> {
-    let kw = model.vocab().get(word)?;
-    let query = model.vector(model.word_node(kw)).to_vec();
-    Some(report(model, format!("keyword \"{word}\""), &query, k))
-}
-
-fn report(model: &TrainedModel, query_desc: String, query: &[f32], k: usize) -> NeighborReport {
-    let words = model.nearest_words(query, k);
-    let times = model
-        .nearest_of_type(query, NodeType::Time, k)
-        .into_iter()
-        .map(|(n, s)| (format_time_of_day(time_center(model, n)), s))
-        .collect();
-    let places = model
-        .nearest_of_type(query, NodeType::Location, k)
-        .into_iter()
-        .map(|(n, s)| (location_center(model, n), s))
-        .collect();
-    NeighborReport {
-        query: query_desc,
-        words,
-        times,
-        places,
-    }
-}
-
-fn time_center(model: &TrainedModel, node: NodeId) -> f64 {
-    let local = model.space().local_of(node);
-    model
-        .temporal_hotspots()
-        .center(hotspot::TemporalHotspotId(local))
-}
-
-fn location_center(model: &TrainedModel, node: NodeId) -> GeoPoint {
-    let local = model.space().local_of(node);
-    model
-        .spatial_hotspots()
-        .center(hotspot::SpatialHotspotId(local))
+    NeighborSearcher::new(model).textual(word, k)
 }
 
 #[cfg(test)]
@@ -89,6 +129,7 @@ mod tests {
     use actor_core::ActorConfig;
     use mobility::synth::{generate, DatasetPreset};
     use mobility::{CorpusSplit, SplitSpec};
+    use stgraph::NodeType;
 
     fn model() -> TrainedModel {
         let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(21)).unwrap();
@@ -132,5 +173,38 @@ mod tests {
         for pair in r.places.windows(2) {
             assert!(pair[0].1 >= pair[1].1);
         }
+    }
+
+    #[test]
+    fn searcher_matches_direct_model_ranking() {
+        // The engine path must reproduce §6.2.1 semantics: cosine ranking
+        // against the raw model, word for word, score for score.
+        let m = model();
+        let searcher = NeighborSearcher::new(&m);
+        let p = GeoPoint::new(30.25, -97.75);
+        let got = searcher.spatial(p, 6);
+        let raw = m.vector(m.location_node(p)).to_vec();
+        let reference = m.nearest_words(&raw, 6);
+        assert_eq!(
+            got.words.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>(),
+            reference.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>()
+        );
+        for (a, b) in got.words.iter().zip(&reference) {
+            assert!((a.1 - b.1).abs() < 1e-5, "{} vs {}", a.1, b.1);
+        }
+        let ref_places = m.nearest_of_type(&raw, NodeType::Location, 6);
+        assert_eq!(got.places.len(), ref_places.len());
+        for (a, b) in got.places.iter().zip(&ref_places) {
+            assert!((a.1 - b.1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn searcher_reuse_hits_the_cache() {
+        let m = model();
+        let searcher = NeighborSearcher::new(&m);
+        let _ = searcher.temporal(9.0 * 3600.0, 5);
+        let _ = searcher.temporal(9.0 * 3600.0, 5);
+        assert!(searcher.engine().stats().cache_hits >= 1);
     }
 }

@@ -181,6 +181,7 @@ pub struct HistogramSnapshot {
     pub mean: f64,
     pub p50: u64,
     pub p95: u64,
+    pub p99: u64,
     pub max: u64,
     /// Raw log2 bucket counts (index = significant bits of the sample);
     /// kept so snapshots can be diffed exactly.
@@ -198,6 +199,7 @@ impl HistogramSnapshot {
             mean,
             p50: quantile(&buckets, count, 0.50),
             p95: quantile(&buckets, count, 0.95),
+            p99: quantile(&buckets, count, 0.99),
             max,
             buckets,
         }
@@ -278,6 +280,7 @@ mod tests {
         assert_eq!(s.max, 1000);
         assert_eq!(s.p50, 3); // bucket [2,3]
         assert!(s.p95 <= 3, "p95 {} should sit in the [2,3] bucket", s.p95);
+        assert!(s.p99 >= s.p95, "p99 {} must dominate p95 {}", s.p99, s.p95);
         assert_eq!(s.buckets[0], 1);
         assert_eq!(s.buckets[2], 99);
     }

@@ -118,7 +118,7 @@ impl RunTelemetry {
     /// {"wall_seconds":..,"spans":[{"name":..,"count":..,"seconds":..,
     ///  "children":[..]}],"counters":[{"name":..,"value":..}],
     ///  "histograms":[{"name":..,"count":..,"sum":..,"mean":..,
-    ///  "p50":..,"p95":..,"max":..}]}
+    ///  "p50":..,"p95":..,"p99":..,"max":..}]}
     /// ```
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
@@ -173,7 +173,7 @@ pub(crate) fn push_histogram(out: &mut String, h: &HistogramSnapshot) {
     out.push(',');
     push_key(out, "mean");
     push_f64(out, h.mean);
-    for (key, value) in [("p50", h.p50), ("p95", h.p95), ("max", h.max)] {
+    for (key, value) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99), ("max", h.max)] {
         out.push(',');
         push_key(out, key);
         out.push_str(&value.to_string());

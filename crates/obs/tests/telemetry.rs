@@ -110,7 +110,7 @@ fn run_telemetry_json_round_trips() {
         .iter()
         .find(|h| h.get("name").as_str() == Some("it.json.iters"))
         .expect("histogram present");
-    for key in ["count", "sum", "mean", "p50", "p95", "max"] {
+    for key in ["count", "sum", "mean", "p50", "p95", "p99", "max"] {
         assert!(
             !matches!(h.get(key), serde_json::Value::Null),
             "histogram field {key} missing in {json}"

@@ -1,0 +1,332 @@
+//! Sharded LRU cache over quantized query vectors.
+//!
+//! Two observations make caching worthwhile for activity queries: real
+//! traffic is heavily repeated (the same landmarks, the same commute
+//! hours), and cosine ranking is insensitive to tiny query perturbations.
+//! The cache key therefore *quantizes* the unit query vector to `i16`
+//! grid cells — queries within a quantization cell share one entry — and
+//! adds everything else that changes the answer (k, modality mask, and
+//! the snapshot epoch, so a hot-swap naturally invalidates: stale-epoch
+//! entries can no longer be hit and age out of the LRU).
+//!
+//! Sharding by key hash keeps lock contention negligible: each shard is an
+//! independent mutex around a hand-rolled intrusive-list LRU (`HashMap`
+//! into a slab of doubly-linked entries — O(1) hit, insert, and evict).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+
+use crate::query::QueryResponse;
+
+/// Scale used when quantizing unit-vector components (`round(x · 512)`;
+/// components lie in [-1, 1], so cells are ~0.002 wide — far below any
+/// gap that would reorder a top-k).
+const QUANT_SCALE: f32 = 512.0;
+
+/// Fully resolved cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot epoch the answer was computed under.
+    epoch: u64,
+    /// Requested k.
+    k: u32,
+    /// Requested modality bitmask.
+    mask: u8,
+    /// Quantized unit query vector.
+    cells: Vec<i16>,
+}
+
+impl CacheKey {
+    /// Quantizes a unit query vector plus the answer-shaping parameters.
+    pub fn new(epoch: u64, k: usize, mask: u8, unit_query: &[f32]) -> Self {
+        Self {
+            epoch,
+            k: k as u32,
+            mask,
+            cells: unit_query
+                .iter()
+                .map(|&x| (x * QUANT_SCALE).round() as i16)
+                .collect(),
+        }
+    }
+
+    fn hash64(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Slab slot index; `NONE` terminates the intrusive list.
+const NONE: u32 = u32::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: QueryResponse,
+    prev: u32,
+    next: u32,
+}
+
+/// One shard: a slab of entries threaded into an MRU→LRU list, plus a
+/// key→slot map. Capacity is fixed at construction; eviction pops the
+/// list tail.
+struct Shard {
+    map: HashMap<CacheKey, u32>,
+    slab: Vec<Entry>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NONE,
+            tail: NONE,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let e = &self.slab[slot as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NONE => self.head = next,
+            p => self.slab[p as usize].next = next,
+        }
+        match next {
+            NONE => self.tail = prev,
+            n => self.slab[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[slot as usize];
+            e.prev = NONE;
+            e.next = old_head;
+        }
+        if old_head != NONE {
+            self.slab[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<QueryResponse> {
+        let slot = *self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slab[slot as usize].value.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, value: QueryResponse) {
+        if let Some(&slot) = self.map.get(&key) {
+            // Refresh an existing entry in place.
+            self.slab[slot as usize].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        let slot = if self.slab.len() < self.capacity {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NONE,
+                next: NONE,
+            });
+            (self.slab.len() - 1) as u32
+        } else {
+            // Evict the LRU tail and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let e = &mut self.slab[victim as usize];
+            let old_key = std::mem::replace(&mut e.key, key.clone());
+            e.value = value;
+            self.map.remove(&old_key);
+            victim
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+}
+
+/// The sharded cache. Hit/miss totals are exported through `actor-obs`
+/// (`serve.cache.hit` / `serve.cache.miss`) and mirrored in
+/// [`QueryCache::hits`] / [`QueryCache::misses`] for per-engine stats.
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    hit_counter: obs::Counter,
+    miss_counter: obs::Counter,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache of `capacity` total entries spread over `shards` shards
+    /// (both floored to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hit_counter: obs::counter("serve.cache.hit"),
+            miss_counter: obs::counter("serve.cache.miss"),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // High bits: DefaultHasher mixes well, and the map inside the
+        // shard re-hashes the full key anyway.
+        let h = key.hash64();
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Looks up a cached answer, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<QueryResponse> {
+        let got = self.shard_of(key).lock().get(key);
+        if got.is_some() {
+            self.hit_counter.incr();
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            self.miss_counter.incr();
+            self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Stores an answer (refreshing LRU position if the key exists).
+    pub fn insert(&self, key: CacheKey, value: QueryResponse) {
+        self.shard_of(&key).lock().insert(key, value);
+    }
+
+    /// Drops every entry (used at publish time; epoch keying already
+    /// prevents stale hits — clearing just returns the memory early).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Cache hits since construction (this engine only).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction (this engine only).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(tag: u64) -> QueryResponse {
+        QueryResponse {
+            query: format!("q{tag}"),
+            epoch: tag,
+            from_cache: false,
+            words: Vec::new(),
+            times: Vec::new(),
+            places: Vec::new(),
+        }
+    }
+
+    fn key(epoch: u64, x: f32) -> CacheKey {
+        CacheKey::new(epoch, 10, 0b111, &[x, 0.5, -0.25])
+    }
+
+    #[test]
+    fn hit_after_insert_and_epoch_isolation() {
+        let cache = QueryCache::new(64, 4);
+        assert!(cache.get(&key(1, 0.1)).is_none());
+        cache.insert(key(1, 0.1), response(7));
+        assert_eq!(cache.get(&key(1, 0.1)).unwrap().epoch, 7);
+        // Same query under a newer epoch misses: hot-swap invalidates.
+        assert!(cache.get(&key(2, 0.1)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn nearby_queries_share_a_cell_distant_ones_do_not() {
+        let a = key(1, 0.5000);
+        let b = key(1, 0.5004); // within one 1/512 cell of a
+        let c = key(1, 0.6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let cache = QueryCache::new(2, 1); // single shard, two slots
+        cache.insert(key(1, 0.1), response(1));
+        cache.insert(key(1, 0.2), response(2));
+        // Touch the first so the second becomes LRU.
+        assert!(cache.get(&key(1, 0.1)).is_some());
+        cache.insert(key(1, 0.3), response(3));
+        assert!(cache.get(&key(1, 0.1)).is_some(), "recently used survives");
+        assert!(cache.get(&key(1, 0.2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 0.3)).is_some());
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = QueryCache::new(16, 4);
+        for i in 0..8 {
+            cache.insert(key(1, i as f32 * 0.1), response(i));
+        }
+        cache.clear();
+        for i in 0..8 {
+            assert!(cache.get(&key(1, i as f32 * 0.1)).is_none());
+        }
+    }
+
+    #[test]
+    fn insert_same_key_refreshes_value() {
+        let cache = QueryCache::new(4, 1);
+        cache.insert(key(1, 0.1), response(1));
+        cache.insert(key(1, 0.1), response(2));
+        assert_eq!(cache.get(&key(1, 0.1)).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = std::sync::Arc::new(QueryCache::new(128, 8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = key(1, ((t * 131 + i) % 50) as f32 / 50.0);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, response(i));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 2000);
+    }
+}

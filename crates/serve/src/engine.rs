@@ -1,0 +1,423 @@
+//! The query engine: planner + snapshot cell + cache, behind one handle.
+//!
+//! A [`QueryEngine`] is cheap to share (`Arc` it across however many
+//! worker threads the server runs) and wholly lock-free on the query hot
+//! path: snapshot access is an epoch-checked thread-local read
+//! ([`crate::swap::SnapshotCell`]), search scratch is thread-local, and
+//! the cache touches one shard mutex for a few nanoseconds.
+//!
+//! Publishing a new model generation — from online streaming updates, a
+//! restored checkpoint, or a fresh training run — is [`QueryEngine::publish`];
+//! the engine also implements [`actor_core::ModelSink`], so it can be
+//! handed directly to `fit_with_sink` / `OnlineActor::attach_sink` and
+//! receive generations as training produces them.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use actor_core::{ModelSink, TrainedModel};
+use embed::math::normalize_into;
+use mobility::{GeoPoint, KeywordId};
+use stgraph::{NodeId, NodeType};
+
+use crate::cache::{CacheKey, QueryCache};
+use crate::hnsw::SearchScratch;
+use crate::query::{QueryError, QueryKind, QueryRequest, QueryResponse};
+use crate::snapshot::{IndexParams, Snapshot};
+use crate::swap::SnapshotCell;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineParams {
+    /// Index-build policy for published snapshots.
+    pub index: IndexParams,
+    /// Total query-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (lock granularity).
+    pub cache_shards: usize,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        Self {
+            index: IndexParams::default(),
+            cache_capacity: 4096,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Epoch of the currently served snapshot.
+    pub epoch: u64,
+    /// Queries answered (hits + misses).
+    pub queries: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Queries that ran the index search.
+    pub cache_misses: u64,
+    /// Snapshots published over the engine's lifetime.
+    pub publishes: u64,
+}
+
+thread_local! {
+    /// Per-thread search scratch + query-vector buffers: queries allocate
+    /// nothing once a thread has warmed up.
+    static SCRATCH: RefCell<(SearchScratch, Vec<f32>, Vec<f32>)> =
+        RefCell::new((SearchScratch::new(), Vec::new(), Vec::new()));
+}
+
+/// A concurrent cross-modal query engine over hot-swappable snapshots.
+pub struct QueryEngine {
+    cell: SnapshotCell,
+    cache: QueryCache,
+    params: EngineParams,
+    next_epoch: AtomicU64,
+    publishes: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Builds the first snapshot (epoch 1) from `model` and starts serving.
+    pub fn new(model: TrainedModel, params: EngineParams) -> Self {
+        let first = Arc::new(Snapshot::build(model, &params.index, 1));
+        Self {
+            cell: SnapshotCell::new(first),
+            cache: QueryCache::new(params.cache_capacity.max(1), params.cache_shards),
+            params,
+            next_epoch: AtomicU64::new(2),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with default parameters.
+    pub fn with_defaults(model: TrainedModel) -> Self {
+        Self::new(model, EngineParams::default())
+    }
+
+    /// The currently served snapshot (in-flight queries keep whatever
+    /// snapshot they loaded even if a publish lands mid-query).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// Epoch of the currently served snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Publishes a new model generation: builds its snapshot off the query
+    /// path, swaps it in, and drops the (now unreachable) cache entries of
+    /// older epochs. Safe to call concurrently with queries; concurrent
+    /// publishers are serialized by the cell.
+    pub fn publish(&self, model: TrainedModel) {
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snap = Arc::new(Snapshot::build(model, &self.params.index, epoch));
+        self.cell.store(snap);
+        self.cache.clear();
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve.publish").incr();
+    }
+
+    /// Answers a query against the current snapshot.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryResponse, QueryError> {
+        let started = Instant::now();
+        let snap = self.cell.load();
+        let response = SCRATCH.with(|cells| {
+            let (scratch, raw, unit) = &mut *cells.borrow_mut();
+            let desc = plan_query_vector(snap.model(), &req.kind, raw)?;
+            unit.resize(raw.len(), 0.0);
+            normalize_into(raw, unit);
+
+            let key = CacheKey::new(snap.epoch(), req.k, req.modalities.bits(), unit);
+            if let Some(mut hit) = self.cache.get(&key) {
+                hit.from_cache = true;
+                return Ok(hit);
+            }
+
+            let response = answer(&snap, desc, unit, req, scratch);
+            self.cache.insert(key, response.clone());
+            Ok(response)
+        })?;
+        obs::histogram("serve.query.latency_us").record(started.elapsed().as_micros() as u64);
+        obs::counter("serve.query.count").incr();
+        Ok(response)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        let hits = self.cache.hits();
+        let misses = self.cache.misses();
+        EngineStats {
+            epoch: self.cell.epoch(),
+            queries: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            publishes: self.publishes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ModelSink for QueryEngine {
+    fn publish(&self, model: &TrainedModel) {
+        QueryEngine::publish(self, model.clone());
+    }
+}
+
+/// Resolves a query kind to its raw (un-normalized) §6.2.1 query vector,
+/// written into `raw`. Returns the display description.
+fn plan_query_vector(
+    model: &TrainedModel,
+    kind: &QueryKind,
+    raw: &mut Vec<f32>,
+) -> Result<String, QueryError> {
+    match kind {
+        QueryKind::Spatial(p) => {
+            copy_node_vector(model, model.location_node(*p), raw);
+            Ok(format!("location ({:.4}, {:.4})", p.lat, p.lon))
+        }
+        QueryKind::Temporal(s) => {
+            copy_node_vector(model, model.time_of_day_node(*s), raw);
+            Ok(format!("time {}", mobility::types::format_time_of_day(*s)))
+        }
+        QueryKind::Keyword(w) => {
+            let kw = lookup_word(model, w)?;
+            copy_node_vector(model, model.word_node(kw), raw);
+            Ok(format!("keyword {w:?}"))
+        }
+        QueryKind::Composite {
+            second_of_day,
+            point,
+            words,
+        } => {
+            let kws: Vec<KeywordId> = words
+                .iter()
+                .map(|w| lookup_word(model, w))
+                .collect::<Result<_, _>>()?;
+            let mut parts: Vec<Vec<f32>> = Vec::new();
+            let mut desc: Vec<String> = Vec::new();
+            if let Some(s) = second_of_day {
+                parts.push(model.vector(model.time_of_day_node(*s)).to_vec());
+                desc.push(mobility::types::format_time_of_day(*s));
+            }
+            if let Some(p) = point {
+                parts.push(model.vector(model.location_node(*p)).to_vec());
+                desc.push(format!("({:.4}, {:.4})", p.lat, p.lon));
+            }
+            if !kws.is_empty() {
+                parts.push(model.text_vector(&kws));
+                desc.push(words.join(" "));
+            }
+            if parts.is_empty() {
+                return Err(QueryError::EmptyQuery);
+            }
+            let views: Vec<&[f32]> = parts.iter().map(|v| v.as_slice()).collect();
+            let q = model.query_vector(&views);
+            raw.clear();
+            raw.extend_from_slice(&q);
+            Ok(desc.join(" + "))
+        }
+    }
+}
+
+fn lookup_word(model: &TrainedModel, w: &str) -> Result<KeywordId, QueryError> {
+    model
+        .vocab()
+        .get(w)
+        .ok_or_else(|| QueryError::UnknownWord(w.to_string()))
+}
+
+fn copy_node_vector(model: &TrainedModel, node: NodeId, raw: &mut Vec<f32>) {
+    raw.clear();
+    raw.extend_from_slice(model.vector(node));
+}
+
+/// Runs the requested per-modality searches and renders hotspot centers /
+/// vocabulary words.
+fn answer(
+    snap: &Snapshot,
+    desc: String,
+    unit: &[f32],
+    req: &QueryRequest,
+    scratch: &mut SearchScratch,
+) -> QueryResponse {
+    let model = snap.model();
+    let words = if req.modalities.words {
+        snap.top_k(NodeType::Word, unit, req.k, None, scratch)
+            .into_iter()
+            .map(|(n, s)| {
+                let kw = KeywordId(model.space().local_of(n));
+                (model.vocab().word(kw).to_string(), s)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let times = if req.modalities.times {
+        snap.top_k(NodeType::Time, unit, req.k, None, scratch)
+            .into_iter()
+            .map(|(n, s)| {
+                let local = model.space().local_of(n);
+                (
+                    model.temporal_hotspots().center(hotspot::TemporalHotspotId(local)),
+                    s,
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let places: Vec<(GeoPoint, f64)> = if req.modalities.places {
+        snap.top_k(NodeType::Location, unit, req.k, None, scratch)
+            .into_iter()
+            .map(|(n, s)| {
+                let local = model.space().local_of(n);
+                (
+                    model.spatial_hotspots().center(hotspot::SpatialHotspotId(local)),
+                    s,
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    QueryResponse {
+        query: desc,
+        epoch: snap.epoch(),
+        from_cache: false,
+        words,
+        times,
+        places,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ModalityMask;
+    use actor_core::ActorConfig;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, SplitSpec};
+
+    fn model() -> TrainedModel {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(51)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        actor_core::fit(&corpus, &split.train, &ActorConfig::fast())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn spatial_query_matches_model_reference_ranking() {
+        let m = model();
+        let engine = QueryEngine::with_defaults(m.clone());
+        let p = GeoPoint::new(40.75, -73.99);
+        let r = engine.query(&QueryRequest::spatial(p, 5)).unwrap();
+        assert_eq!(r.words.len(), 5);
+        assert!(!r.from_cache);
+        assert_eq!(r.epoch, 1);
+
+        // Reference semantics: cosine ranking over the raw model.
+        let raw = m.vector(m.location_node(p)).to_vec();
+        let reference = m.nearest_words(&raw, 5);
+        assert_eq!(
+            r.words.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>(),
+            reference.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>()
+        );
+        for (a, b) in r.words.iter().zip(&reference) {
+            assert!((a.1 - b.1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let engine = QueryEngine::with_defaults(model());
+        let req = QueryRequest::temporal(20.0 * 3600.0, 4);
+        let first = engine.query(&req).unwrap();
+        assert!(!first.from_cache);
+        let second = engine.query(&req).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(first.words, second.words);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn unknown_words_and_empty_composites_error() {
+        let engine = QueryEngine::with_defaults(model());
+        let err = engine
+            .query(&QueryRequest::keyword("definitely_not_a_word_xyz", 3))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnknownWord(_)));
+        let err = engine
+            .query(&QueryRequest::composite(None, None, Vec::new()))
+            .unwrap_err();
+        assert_eq!(err, QueryError::EmptyQuery);
+    }
+
+    #[test]
+    fn composite_query_averages_modalities() {
+        let m = model();
+        let engine = QueryEngine::with_defaults(m.clone());
+        let p = GeoPoint::new(40.7, -74.0);
+        let s = 9.0 * 3600.0;
+        let r = engine
+            .query(&QueryRequest::composite(Some(s), Some(p), Vec::new()).with_k(3))
+            .unwrap();
+        let tv = m.vector(m.time_of_day_node(s)).to_vec();
+        let lv = m.vector(m.location_node(p)).to_vec();
+        let q = m.query_vector(&[&tv, &lv]);
+        let reference = m.nearest_words(&q, 3);
+        assert_eq!(
+            r.words.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>(),
+            reference.iter().map(|(w, _)| w.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn modality_mask_skips_unrequested_modalities() {
+        let engine = QueryEngine::with_defaults(model());
+        let r = engine
+            .query(&QueryRequest::temporal(3600.0, 5).with_modalities(ModalityMask {
+                words: true,
+                times: false,
+                places: false,
+            }))
+            .unwrap();
+        assert!(!r.words.is_empty());
+        assert!(r.times.is_empty());
+        assert!(r.places.is_empty());
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_invalidates_cache() {
+        let m = model();
+        let engine = QueryEngine::with_defaults(m.clone());
+        let req = QueryRequest::keyword("beach", 3);
+        // Skip if the synthetic vocab lacks the word.
+        if engine.query(&req).is_err() {
+            return;
+        }
+        assert!(engine.query(&req).unwrap().from_cache);
+        engine.publish(m.clone());
+        assert_eq!(engine.epoch(), 2);
+        let after = engine.query(&req).unwrap();
+        assert!(!after.from_cache, "publish must invalidate cached answers");
+        assert_eq!(after.epoch, 2);
+        assert_eq!(engine.stats().publishes, 1);
+    }
+
+    #[test]
+    fn engine_is_a_model_sink() {
+        let m = model();
+        let engine = QueryEngine::with_defaults(m.clone());
+        let sink: &dyn ModelSink = &engine;
+        sink.publish(&m);
+        assert_eq!(engine.epoch(), 2);
+    }
+}

@@ -1,0 +1,554 @@
+//! From-scratch HNSW approximate nearest-neighbor index over unit vectors.
+//!
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin 2016):
+//! every element gets a geometrically distributed top layer; upper layers
+//! form coarse "express lanes" that greedy search descends, and layer 0
+//! holds a denser graph searched with a best-first beam of width `ef`.
+//! Search cost is `O(ef · M · log n)` distance evaluations against the
+//! `O(n)` of a brute-force scan — the difference between serving a top-10
+//! query in microseconds and in milliseconds once a modality holds tens of
+//! thousands of units.
+//!
+//! Vectors are **unit-normalized by the caller** (see
+//! [`embed::NormalizedRows`]); similarity is therefore the plain dot
+//! product ([`embed::math::dot_unit`]), shared with the exact scan so ANN
+//! and brute-force results are directly comparable. The index stores only
+//! adjacency — vectors stay in the snapshot's normalized view and are
+//! passed to every operation through [`VectorSource`], keeping one copy of
+//! the data regardless of how many structures rank against it.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use embed::math::dot_unit;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Read access to the vector set an index was built over. Implementors
+/// must hand the *same* vectors to `build` and every later search; the
+/// index stores adjacency only and never copies vector data.
+pub trait VectorSource {
+    /// Number of vectors.
+    fn len(&self) -> usize;
+    /// True when the source holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The unit-normalized vector with local id `i`.
+    fn vector(&self, i: u32) -> &[f32];
+}
+
+/// A flat owned vector set; the simplest [`VectorSource`] (benches, tests).
+pub struct FlatVectors {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl FlatVectors {
+    /// Wraps row-major `data` of width `dim`.
+    pub fn new(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "ragged vector data");
+        Self { data, dim }
+    }
+}
+
+impl VectorSource for FlatVectors {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+    fn vector(&self, i: u32) -> &[f32] {
+        let i = i as usize;
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// HNSW construction and search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswParams {
+    /// Max neighbors per element on layers ≥ 1 (layer 0 keeps `2·m`).
+    pub m: usize,
+    /// Beam width while inserting (`efConstruction`).
+    pub ef_construction: usize,
+    /// Default beam width while searching (`ef`); raise for recall, lower
+    /// for speed. Clamped up to `k` per query.
+    pub ef_search: usize,
+    /// Seed for the geometric layer assignment — builds are deterministic.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x5EED_AC70,
+        }
+    }
+}
+
+/// `(similarity, id)` with a total order: by similarity, ties by id, so
+/// heap behavior is deterministic. Similarities must be finite (unit
+/// vectors guarantee it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    sim: f64,
+    id: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .expect("finite similarity")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable per-thread search state: the visited-set stamps and both
+/// beam heaps. Reusing it across queries removes every per-query
+/// allocation from the hot path (the satellite fix for `eval::neighbor`'s
+/// per-call candidate rebuilds).
+pub struct SearchScratch {
+    /// `visited[i] == stamp` marks node `i` seen in the current search.
+    visited: Vec<u32>,
+    stamp: u32,
+    /// Best-first frontier (max-heap by similarity).
+    frontier: BinaryHeap<Scored>,
+    /// Current beam (min-heap by similarity via `Reverse`).
+    beam: BinaryHeap<std::cmp::Reverse<Scored>>,
+    /// Staging for results and neighbor selection.
+    out: Vec<Scored>,
+}
+
+impl SearchScratch {
+    /// Fresh scratch; grows lazily to the largest index it serves.
+    pub fn new() -> Self {
+        Self {
+            visited: Vec::new(),
+            stamp: 0,
+            frontier: BinaryHeap::new(),
+            beam: BinaryHeap::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Starts a new visited epoch over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+        if self.stamp == u32::MAX {
+            self.visited.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.frontier.clear();
+        self.beam.clear();
+        self.out.clear();
+    }
+
+    /// Marks `id` visited; returns true the first time.
+    #[inline]
+    fn first_visit(&mut self, id: u32) -> bool {
+        let slot = &mut self.visited[id as usize];
+        if *slot == self.stamp {
+            false
+        } else {
+            *slot = self.stamp;
+            true
+        }
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The index proper: per-layer adjacency plus the entry point.
+pub struct HnswIndex {
+    params: HnswParams,
+    /// Top layer of each element.
+    levels: Vec<u8>,
+    /// `layers[l][node]` = neighbor ids of `node` on layer `l`.
+    layers: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+}
+
+impl HnswIndex {
+    /// Builds the index over every vector of `vecs` (deterministic for a
+    /// fixed seed). Single-threaded; building happens off the query path
+    /// at snapshot-publish time.
+    pub fn build(vecs: &impl VectorSource, params: HnswParams) -> Self {
+        assert!(!vecs.is_empty(), "cannot index an empty vector set");
+        assert!(params.m >= 2, "HNSW needs m >= 2");
+        let n = vecs.len();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        // Geometric layer assignment: P(level >= l) = (1/m)^l.
+        let mult = 1.0 / (params.m as f64).ln();
+        let levels: Vec<u8> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random::<f64>();
+                ((-u.max(1e-300).ln() * mult).floor() as usize).min(31) as u8
+            })
+            .collect();
+        let top = *levels.iter().max().expect("non-empty") as usize;
+        let mut index = Self {
+            params,
+            levels,
+            layers: (0..=top).map(|_| vec![Vec::new(); n]).collect(),
+            entry: 0,
+            max_level: 0,
+        };
+        let mut scratch = SearchScratch::new();
+        index.max_level = index.levels[0] as usize;
+        for id in 1..n as u32 {
+            index.insert(vecs, id, &mut scratch);
+        }
+        index
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when the index holds no elements (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    fn cap(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    fn insert(&mut self, vecs: &impl VectorSource, id: u32, scratch: &mut SearchScratch) {
+        let level = self.levels[id as usize] as usize;
+        let q = vecs.vector(id);
+        let mut ep = self.entry;
+        // Greedy descent through layers above the element's top layer.
+        for l in ((level + 1)..=self.max_level).rev() {
+            ep = self.greedy_step(vecs, q, ep, l);
+        }
+        // Beam search and bidirectional linking on the element's layers.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let beam = self.search_layer(vecs, q, ep, self.params.ef_construction, l, scratch);
+            ep = beam.first().map_or(ep, |s| s.id);
+            let chosen = select_neighbors(vecs, beam, self.cap(l));
+            for &nb in &chosen {
+                self.layers[l][id as usize].push(nb);
+                self.layers[l][nb as usize].push(id);
+                self.prune(vecs, nb, l);
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    /// Re-selects `node`'s neighbor list on `layer` down to its cap using
+    /// the same diversity heuristic as insertion.
+    fn prune(&mut self, vecs: &impl VectorSource, node: u32, layer: usize) {
+        let cap = self.cap(layer);
+        if self.layers[layer][node as usize].len() <= cap {
+            return;
+        }
+        let list = std::mem::take(&mut self.layers[layer][node as usize]);
+        let v = vecs.vector(node);
+        let scored: Vec<Scored> = list
+            .into_iter()
+            .map(|nb| Scored {
+                sim: dot_unit(v, vecs.vector(nb)),
+                id: nb,
+            })
+            .collect();
+        self.layers[layer][node as usize] = select_neighbors(vecs, scored, cap);
+    }
+
+    /// One greedy hill-climb on `layer` starting from `ep`.
+    fn greedy_step(&self, vecs: &impl VectorSource, q: &[f32], mut ep: u32, layer: usize) -> u32 {
+        let mut best = dot_unit(q, vecs.vector(ep));
+        loop {
+            let mut improved = false;
+            for &nb in &self.layers[layer][ep as usize] {
+                let sim = dot_unit(q, vecs.vector(nb));
+                if sim > best {
+                    best = sim;
+                    ep = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Best-first beam search on one layer; returns up to `ef` results
+    /// sorted most-similar first (staged in `scratch.out`).
+    fn search_layer(
+        &self,
+        vecs: &impl VectorSource,
+        q: &[f32],
+        ep: u32,
+        ef: usize,
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Scored> {
+        scratch.begin(self.len());
+        scratch.first_visit(ep);
+        let seed = Scored {
+            sim: dot_unit(q, vecs.vector(ep)),
+            id: ep,
+        };
+        scratch.frontier.push(seed);
+        scratch.beam.push(std::cmp::Reverse(seed));
+        while let Some(c) = scratch.frontier.pop() {
+            let worst = scratch.beam.peek().expect("beam non-empty").0.sim;
+            if c.sim < worst && scratch.beam.len() >= ef {
+                break;
+            }
+            for &nb in &self.layers[layer][c.id as usize] {
+                if !scratch.first_visit(nb) {
+                    continue;
+                }
+                let sim = dot_unit(q, vecs.vector(nb));
+                let worst = scratch.beam.peek().expect("beam non-empty").0.sim;
+                if scratch.beam.len() < ef || sim > worst {
+                    let s = Scored { sim, id: nb };
+                    scratch.frontier.push(s);
+                    scratch.beam.push(std::cmp::Reverse(s));
+                    if scratch.beam.len() > ef {
+                        scratch.beam.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Scored> = scratch.beam.drain().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Top-`k` most similar elements to the unit vector `q`, most similar
+    /// first, as `(local id, similarity)`. `ef_override` widens/narrows
+    /// the layer-0 beam (`None` = the build-time default).
+    pub fn search(
+        &self,
+        vecs: &impl VectorSource,
+        q: &[f32],
+        k: usize,
+        ef_override: Option<usize>,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(u32, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let ef = ef_override.unwrap_or(self.params.ef_search).max(k);
+        let mut ep = self.entry;
+        for l in (1..=self.max_level).rev() {
+            ep = self.greedy_step(vecs, q, ep, l);
+        }
+        let beam = self.search_layer(vecs, q, ep, ef, 0, scratch);
+        beam.into_iter().take(k).map(|s| (s.id, s.sim)).collect()
+    }
+}
+
+/// Diverse neighbor selection (Malkov & Yashunin, Algorithm 4): walking
+/// candidates best-first, keep one only if it is more similar to the
+/// target than to every neighbor already kept, then backfill remaining
+/// slots with the best rejected candidates (`keepPrunedConnections`).
+///
+/// Plain "keep the cap most similar" disconnects clustered data — every
+/// edge bridging two clusters gets pruned in favor of intra-cluster edges
+/// and whole clusters become unreachable from the entry point. The
+/// diversity condition keeps exactly those bridges.
+fn select_neighbors(vecs: &impl VectorSource, mut candidates: Vec<Scored>, cap: usize) -> Vec<u32> {
+    candidates.sort_by(|a, b| b.cmp(a));
+    candidates.dedup_by_key(|s| s.id);
+    let mut kept: Vec<u32> = Vec::with_capacity(cap);
+    let mut rejected: Vec<u32> = Vec::new();
+    for c in candidates {
+        if kept.len() >= cap {
+            break;
+        }
+        let cv = vecs.vector(c.id);
+        let diverse = kept.iter().all(|&r| dot_unit(cv, vecs.vector(r)) < c.sim);
+        if diverse {
+            kept.push(c.id);
+        } else {
+            rejected.push(c.id);
+        }
+    }
+    for id in rejected {
+        if kept.len() >= cap {
+            break;
+        }
+        kept.push(id);
+    }
+    kept
+}
+
+/// Exact top-`k` by linear scan over `vecs` — the brute-force reference
+/// the ANN path is measured against, sharing the same [`dot_unit`] kernel.
+pub fn exact_top_k(
+    vecs: &impl VectorSource,
+    q: &[f32],
+    k: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<(u32, f64)> {
+    if k == 0 || vecs.is_empty() {
+        return Vec::new();
+    }
+    scratch.beam.clear();
+    for i in 0..vecs.len() as u32 {
+        let s = Scored {
+            sim: dot_unit(q, vecs.vector(i)),
+            id: i,
+        };
+        if scratch.beam.len() < k {
+            scratch.beam.push(std::cmp::Reverse(s));
+        } else if s > scratch.beam.peek().expect("non-empty").0 {
+            scratch.beam.pop();
+            scratch.beam.push(std::cmp::Reverse(s));
+        }
+    }
+    let mut out: Vec<Scored> = scratch.beam.drain().map(|r| r.0).collect();
+    out.sort_by(|a, b| b.cmp(a));
+    out.into_iter().map(|s| (s.id, s.sim)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embed::math::normalize_into;
+
+    /// Clustered unit vectors: `n` points around `n_clusters` random
+    /// centers — the shape real embedding spaces take.
+    fn clustered(n: usize, dim: usize, n_clusters: usize, seed: u64) -> FlatVectors {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centers = vec![0.0f32; n_clusters * dim];
+        for x in centers.iter_mut() {
+            *x = rng.random_range(-1.0f32..1.0);
+        }
+        let mut data = vec![0.0f32; n * dim];
+        let mut raw = vec![0.0f32; dim];
+        for i in 0..n {
+            let c = i % n_clusters;
+            for d in 0..dim {
+                raw[d] = centers[c * dim + d] + rng.random_range(-0.15f32..0.15);
+            }
+            normalize_into(&raw, &mut data[i * dim..(i + 1) * dim]);
+        }
+        FlatVectors::new(data, dim)
+    }
+
+    #[test]
+    fn exact_top_k_is_sorted_and_correct() {
+        let vecs = clustered(200, 16, 10, 1);
+        let mut scratch = SearchScratch::new();
+        let q = vecs.vector(7).to_vec();
+        let top = exact_top_k(&vecs, &q, 5, &mut scratch);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].0, 7, "a vector's own nearest neighbor is itself");
+        assert!((top[0].1 - 1.0).abs() < 1e-5);
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn hnsw_matches_exact_on_small_sets() {
+        let vecs = clustered(300, 16, 12, 2);
+        let index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        for probe in [0u32, 33, 150, 299] {
+            let q = vecs.vector(probe).to_vec();
+            let ann = index.search(&vecs, &q, 5, Some(300), &mut scratch);
+            let exact = exact_top_k(&vecs, &q, 5, &mut scratch);
+            // With ef >= n the beam covers the reachable graph; top-1 must
+            // be the probe itself.
+            assert_eq!(ann[0].0, probe);
+            assert_eq!(ann[0].0, exact[0].0);
+        }
+    }
+
+    #[test]
+    fn hnsw_recall_on_clustered_vectors() {
+        let vecs = clustered(3000, 32, 60, 3);
+        let index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for probe in (0..3000u32).step_by(61) {
+            let q = vecs.vector(probe).to_vec();
+            let ann: Vec<u32> = index
+                .search(&vecs, &q, 10, None, &mut scratch)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let exact: Vec<u32> = exact_top_k(&vecs, &q, 10, &mut scratch)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            total += exact.len();
+            hit += exact.iter().filter(|i| ann.contains(i)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.95, "recall@10 = {recall:.3}");
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let vecs = clustered(500, 16, 20, 4);
+        let a = HnswIndex::build(&vecs, HnswParams::default());
+        let b = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let q = vecs.vector(123).to_vec();
+        assert_eq!(
+            a.search(&vecs, &q, 10, None, &mut scratch),
+            b.search(&vecs, &q, 10, None, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn single_element_index_works() {
+        let vecs = clustered(1, 8, 1, 5);
+        let index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let q = vecs.vector(0).to_vec();
+        let top = index.search(&vecs, &q, 3, None, &mut scratch);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_queries() {
+        let vecs = clustered(400, 16, 8, 6);
+        let index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let first = {
+            let q = vecs.vector(11).to_vec();
+            index.search(&vecs, &q, 5, None, &mut scratch)
+        };
+        // Interleave a different query, then repeat the first.
+        let q2 = vecs.vector(250).to_vec();
+        let _ = index.search(&vecs, &q2, 5, None, &mut scratch);
+        let q = vecs.vector(11).to_vec();
+        assert_eq!(index.search(&vecs, &q, 5, None, &mut scratch), first);
+    }
+}

@@ -1,0 +1,264 @@
+//! Immutable serving snapshots: a frozen model + per-modality ANN indexes.
+//!
+//! A [`Snapshot`] is everything one query needs, frozen at publish time:
+//! the [`TrainedModel`] (hotspot assignment, vocabulary, raw vectors for
+//! query construction), a unit-normalized copy of every center row
+//! ([`embed::NormalizedRows`]), and one index per node type so a
+//! modality-filtered top-k (`words` / `times` / `places`) never scans the
+//! other modalities. Small modalities keep the exact linear scan — below
+//! [`IndexParams::ann_threshold`] elements a scan beats an HNSW walk and
+//! is exact for free; large modalities get an HNSW graph.
+
+use actor_core::TrainedModel;
+use embed::NormalizedRows;
+use stgraph::{NodeId, NodeType};
+
+use crate::hnsw::{exact_top_k, HnswIndex, HnswParams, SearchScratch, VectorSource};
+
+/// Index-build policy for snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexParams {
+    /// Modalities with at least this many units get an HNSW index;
+    /// smaller ones use the exact scan (which is both faster and exact at
+    /// that size). Set to 0 to force ANN everywhere (conformance tests),
+    /// `usize::MAX` to force exact everywhere (reference behavior).
+    pub ann_threshold: usize,
+    /// HNSW construction/search parameters for indexed modalities.
+    pub hnsw: HnswParams,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        Self {
+            ann_threshold: 2048,
+            hnsw: HnswParams::default(),
+        }
+    }
+}
+
+/// One modality's slice of the normalized row store.
+struct ModalView<'a> {
+    norms: &'a NormalizedRows,
+    offset: usize,
+    count: usize,
+}
+
+impl VectorSource for ModalView<'_> {
+    fn len(&self) -> usize {
+        self.count
+    }
+    fn vector(&self, i: u32) -> &[f32] {
+        self.norms.row(self.offset + i as usize)
+    }
+}
+
+/// Per-modality retrieval structure.
+enum ModalIndex {
+    /// Exact linear scan (small or forced-exact modalities).
+    Exact,
+    /// HNSW graph (built once at snapshot construction).
+    Ann(HnswIndex),
+}
+
+/// A frozen, immutable view of one model generation, safe to share across
+/// every query thread. Building one is the *only* expensive step of a
+/// publish and happens off the query path.
+pub struct Snapshot {
+    model: TrainedModel,
+    epoch: u64,
+    norms: NormalizedRows,
+    indexes: [ModalIndex; 4],
+}
+
+impl Snapshot {
+    /// Freezes `model` under `params`, tagging it with `epoch` (the engine
+    /// assigns monotonically increasing epochs at publish time).
+    pub fn build(model: TrainedModel, params: &IndexParams, epoch: u64) -> Self {
+        let _span = obs::span!("serve.snapshot.build");
+        let norms = NormalizedRows::from_matrix(&model.store().centers);
+        let space = *model.space();
+        let indexes = NodeType::ALL.map(|ty| {
+            let count = space.count(ty) as usize;
+            if count == 0 || count < params.ann_threshold {
+                ModalIndex::Exact
+            } else {
+                let view = ModalView {
+                    norms: &norms,
+                    offset: space.offset(ty) as usize,
+                    count,
+                };
+                ModalIndex::Ann(HnswIndex::build(&view, params.hnsw))
+            }
+        });
+        obs::counter("serve.snapshot.built").incr();
+        Self {
+            model,
+            epoch,
+            norms,
+            indexes,
+        }
+    }
+
+    /// The frozen model (hotspot assignment, vocabulary, raw vectors).
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The publish epoch this snapshot carries.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The unit-normalized center rows (global node ids).
+    pub fn normalized(&self) -> &NormalizedRows {
+        &self.norms
+    }
+
+    /// Whether `ty` is served by the ANN index (false = exact scan).
+    pub fn is_ann(&self, ty: NodeType) -> bool {
+        matches!(self.indexes[modality_slot(ty)], ModalIndex::Ann(_))
+    }
+
+    fn view(&self, ty: NodeType) -> ModalView<'_> {
+        let space = self.model.space();
+        ModalView {
+            norms: &self.norms,
+            offset: space.offset(ty) as usize,
+            count: space.count(ty) as usize,
+        }
+    }
+
+    /// Top-`k` vertices of `ty` by similarity to the **unit** query
+    /// vector, most similar first, as `(global id, cosine)`. Served by the
+    /// modality's index (ANN or exact).
+    pub fn top_k(
+        &self,
+        ty: NodeType,
+        unit_query: &[f32],
+        k: usize,
+        ef: Option<usize>,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(NodeId, f64)> {
+        let view = self.view(ty);
+        if view.is_empty() {
+            return Vec::new();
+        }
+        let local = match &self.indexes[modality_slot(ty)] {
+            ModalIndex::Exact => exact_top_k(&view, unit_query, k, scratch),
+            ModalIndex::Ann(index) => index.search(&view, unit_query, k, ef, scratch),
+        };
+        self.globalize(ty, local)
+    }
+
+    /// Exact (brute-force) top-`k` regardless of the index mode — the
+    /// conformance reference for ANN answers.
+    pub fn top_k_exact(
+        &self,
+        ty: NodeType,
+        unit_query: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(NodeId, f64)> {
+        let view = self.view(ty);
+        if view.is_empty() {
+            return Vec::new();
+        }
+        let local = exact_top_k(&view, unit_query, k, scratch);
+        self.globalize(ty, local)
+    }
+
+    fn globalize(&self, ty: NodeType, local: Vec<(u32, f64)>) -> Vec<(NodeId, f64)> {
+        let off = self.model.space().offset(ty);
+        local
+            .into_iter()
+            .map(|(i, sim)| (NodeId(off + i), sim))
+            .collect()
+    }
+}
+
+/// Array slot of a node type (mirrors `NodeType::ALL` order).
+fn modality_slot(ty: NodeType) -> usize {
+    match ty {
+        NodeType::Time => 0,
+        NodeType::Location => 1,
+        NodeType::Word => 2,
+        NodeType::User => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actor_core::ActorConfig;
+    use embed::math::normalize_into;
+    use mobility::synth::{generate, DatasetPreset};
+    use mobility::{CorpusSplit, SplitSpec};
+
+    fn model() -> TrainedModel {
+        let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(31)).unwrap();
+        let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+        actor_core::fit(&corpus, &split.train, &ActorConfig::fast())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn exact_top_k_matches_model_nearest_of_type() {
+        let m = model();
+        let snap = Snapshot::build(m.clone(), &IndexParams::default(), 1);
+        let mut scratch = SearchScratch::new();
+        let raw = m.vector(m.space().node(NodeType::Word, 3)).to_vec();
+        let mut unit = vec![0.0f32; raw.len()];
+        normalize_into(&raw, &mut unit);
+        for ty in [NodeType::Word, NodeType::Location, NodeType::Time] {
+            let ours = snap.top_k(ty, &unit, 5, None, &mut scratch);
+            let reference = m.nearest_of_type(&raw, ty, 5);
+            assert_eq!(
+                ours.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+                reference.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+                "{ty:?}"
+            );
+            for (a, b) in ours.iter().zip(&reference) {
+                assert!((a.1 - b.1).abs() < 1e-5, "{} vs {}", a.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_ann_still_finds_the_query_node_itself(){
+        let m = model();
+        let forced = IndexParams {
+            ann_threshold: 0,
+            ..IndexParams::default()
+        };
+        let snap = Snapshot::build(m.clone(), &forced, 2);
+        assert!(snap.is_ann(NodeType::Word));
+        let mut scratch = SearchScratch::new();
+        let node = m.space().node(NodeType::Word, 7);
+        let raw = m.vector(node).to_vec();
+        let mut unit = vec![0.0f32; raw.len()];
+        normalize_into(&raw, &mut unit);
+        let top = snap.top_k(NodeType::Word, &unit, 3, None, &mut scratch);
+        assert_eq!(top[0].0, node);
+        assert!((top[0].1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_against_later_model_mutation() {
+        let m = model();
+        let snap = Snapshot::build(m.clone(), &IndexParams::default(), 3);
+        let mut scratch = SearchScratch::new();
+        let raw = m.vector(m.space().node(NodeType::Word, 0)).to_vec();
+        let mut unit = vec![0.0f32; raw.len()];
+        normalize_into(&raw, &mut unit);
+        let before = snap.top_k(NodeType::Word, &unit, 5, None, &mut scratch);
+        // `build` cloned the model; mutating the original must not leak in.
+        drop(m);
+        let after = snap.top_k(NodeType::Word, &unit, 5, None, &mut scratch);
+        assert_eq!(
+            before.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            after.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        );
+        assert_eq!(snap.epoch(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Serving conformance: ANN answers against the exact reference, and
+//! hot-swap correctness under concurrent load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mobility::GeoPoint;
+use rand::{rngs::StdRng, SeedableRng};
+use serve::hnsw::SearchScratch;
+use serve::snapshot::{IndexParams, Snapshot};
+use serve::testkit::{probe_near, synthetic_model};
+use serve::{EngineParams, QueryEngine, QueryRequest};
+use stgraph::NodeType;
+
+/// Recall@10 of the ANN path against the brute-force reference, per
+/// modality, on a corpus large enough (4096/modality) that every modality
+/// crosses the default ANN threshold.
+#[test]
+fn ann_recall_at_10_meets_bar_per_modality() {
+    let n = 4096;
+    let model = synthetic_model(n, 32, 11);
+    let snap = Snapshot::build(model, &IndexParams::default(), 1);
+    let mut scratch = SearchScratch::new();
+    let mut rng = StdRng::seed_from_u64(12);
+
+    for ty in [NodeType::Word, NodeType::Time, NodeType::Location] {
+        assert!(snap.is_ann(ty), "{ty:?} should be ANN-indexed at n={n}");
+        let offset = snap.model().space().offset(ty) as usize;
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for probe in (0..n).step_by(97) {
+            let raw = probe_near(snap.model(), offset + probe, 0.05, &mut rng);
+            let mut unit = vec![0.0f32; raw.len()];
+            embed::math::normalize_into(&raw, &mut unit);
+            let ann: Vec<_> = snap
+                .top_k(ty, &unit, 10, None, &mut scratch)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            let exact = snap.top_k_exact(ty, &unit, 10, &mut scratch);
+            total += exact.len();
+            hit += exact.iter().filter(|(id, _)| ann.contains(id)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.95, "{ty:?} recall@10 = {recall:.3}");
+    }
+}
+
+/// ANN scores are the same dot products the exact path computes — for the
+/// neighbors both paths agree on, the scores must match exactly.
+#[test]
+fn ann_scores_equal_exact_scores_for_shared_neighbors() {
+    let model = synthetic_model(4096, 16, 13);
+    let snap = Snapshot::build(model, &IndexParams::default(), 1);
+    let mut scratch = SearchScratch::new();
+    let mut rng = StdRng::seed_from_u64(14);
+    let raw = probe_near(snap.model(), 100, 0.05, &mut rng);
+    let mut unit = vec![0.0f32; raw.len()];
+    embed::math::normalize_into(&raw, &mut unit);
+    let ann = snap.top_k(NodeType::Word, &unit, 10, None, &mut scratch);
+    let exact = snap.top_k_exact(NodeType::Word, &unit, 10, &mut scratch);
+    for (id, sim) in &ann {
+        if let Some((_, esim)) = exact.iter().find(|(eid, _)| eid == id) {
+            assert_eq!(sim, esim, "shared kernel must give identical scores");
+        }
+    }
+}
+
+/// Queries racing hot-swaps: no query may fail, panic, or observe a
+/// regressing epoch, and the final epoch must account for every publish.
+#[test]
+fn hot_swap_under_concurrent_queries_never_fails() {
+    let model = synthetic_model(256, 16, 15);
+    let engine = Arc::new(QueryEngine::new(model.clone(), EngineParams::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let publishes = 12u64;
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            let engine = engine.clone();
+            let stop = stop.clone();
+            workers.push(s.spawn(move || {
+                let mut answered = 0u64;
+                let mut last_epoch = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) || answered == 0 {
+                    let req = match (t + i) % 3 {
+                        0 => QueryRequest::spatial(
+                            GeoPoint::new(33.6 + (i % 50) as f64 * 0.01, -118.3),
+                            5,
+                        ),
+                        1 => QueryRequest::temporal(((i * 613) % 86_400) as f64, 5),
+                        _ => QueryRequest::keyword(format!("word{:05}", (i * 37) % 256), 5),
+                    };
+                    let r = engine.query(&req).expect("no query may fail mid-swap");
+                    assert!(
+                        r.epoch >= last_epoch,
+                        "epoch regressed: {} -> {}",
+                        last_epoch,
+                        r.epoch
+                    );
+                    last_epoch = r.epoch;
+                    answered += 1;
+                    i += 1;
+                }
+                answered
+            }));
+        }
+        for _ in 0..publishes {
+            engine.publish(model.clone());
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(total > 0);
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.publishes, publishes);
+    assert_eq!(stats.epoch, 1 + publishes);
+    assert_eq!(stats.cache_hits + stats.cache_misses, stats.queries);
+}
+
+/// The engine's ANN answers agree with a forced-exact twin engine on the
+/// top result (the two engines share one model and one scoring kernel).
+#[test]
+fn ann_engine_and_exact_engine_agree_on_top_results() {
+    let model = synthetic_model(4096, 16, 16);
+    let ann = QueryEngine::new(
+        model.clone(),
+        EngineParams {
+            index: IndexParams {
+                ann_threshold: 0,
+                ..IndexParams::default()
+            },
+            ..EngineParams::default()
+        },
+    );
+    let exact = QueryEngine::new(
+        model,
+        EngineParams {
+            index: IndexParams {
+                ann_threshold: usize::MAX,
+                ..IndexParams::default()
+            },
+            ..EngineParams::default()
+        },
+    );
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in (0..4096usize).step_by(257) {
+        let req = QueryRequest::keyword(format!("word{i:05}"), 3);
+        let a = ann.query(&req).unwrap();
+        let e = exact.query(&req).unwrap();
+        total += 1;
+        // A keyword's own embedding must top its neighbor list either way.
+        if a.words.first().map(|w| &w.0) == e.words.first().map(|w| &w.0) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree as f64 / total as f64 >= 0.95,
+        "top-1 agreement {agree}/{total}"
+    );
+}

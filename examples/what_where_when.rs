@@ -59,6 +59,32 @@ fn main() {
     println!("  (time is the hardest modality in the paper too: Table 2's");
     println!("   time MRRs are ~0.35 vs ~0.62-0.95 for text/location)");
 
+    // The same what/where/when questions, answered through the serving
+    // engine: the observed modalities become one composite query, and the
+    // engine returns the most aligned units of each missing modality.
+    println!("\nthe engine's open-ended answers (no candidate list needed):");
+    let engine = QueryEngine::with_defaults(model.clone());
+    let observed: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+    let req = QueryRequest::composite(
+        Some(gt.second_of_day()),
+        Some(gt.location),
+        observed.clone(),
+    )
+    .with_k(3);
+    match engine.query(&req) {
+        Ok(r) => {
+            let top_words: Vec<&str> = r.words.iter().map(|(w, _)| w.as_str()).collect();
+            println!("  WHAT : {}", top_words.join(", "));
+            if let Some((s, _)) = r.times.first() {
+                println!("  WHEN : {}", format_time_of_day(*s));
+            }
+            if let Some((p, _)) = r.places.first() {
+                println!("  WHERE: ({:.4}, {:.4})", p.lat, p.lon);
+            }
+        }
+        Err(e) => println!("  engine could not answer: {e}"),
+    }
+
     // Aggregate over the full test split.
     println!("\nfull test split MRRs:");
     for task in PredictionTask::ALL {

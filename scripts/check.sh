@@ -12,6 +12,10 @@ cargo test --workspace -q
 echo "== resilience acceptance suite =="
 cargo test -q --test resilience
 
+echo "== serving conformance + load smoke =="
+cargo test -q -p actor-serve --test conformance
+cargo run -q -p actor-bench --release --bin serve_load -- --smoke
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

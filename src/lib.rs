@@ -41,6 +41,7 @@
 //! | [`baselines`] | LGTA, MGTM, metapath2vec, LINE(U), CrossMap(U) |
 //! | [`eval`] | MRR, prediction tasks, neighbor search, case studies |
 //! | [`resilience`] | checkpoint envelopes, retry/divergence policies, fault injection |
+//! | [`serve`] | online query engine: ANN index, query cache, snapshot hot-swap |
 
 pub use actor_core as core;
 pub use baselines;
@@ -49,6 +50,7 @@ pub use evalkit as eval;
 pub use hotspot;
 pub use mobility;
 pub use resilience;
+pub use serve;
 pub use stgraph;
 
 /// The most commonly used items in one import.
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use mobility::synth::{generate, DatasetPreset};
     pub use mobility::{Corpus, CorpusSplit, GeoPoint, Record, SplitSpec};
     pub use resilience::{CheckpointPolicy, FaultPlan, RetryPolicy};
+    pub use serve::{EngineParams, QueryEngine, QueryRequest, QueryResponse};
 }
 
 #[cfg(test)]
