@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use actor_core::TrainedModel;
 use mobility::GeoPoint;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serve::hnsw::SearchScratch;
@@ -70,17 +71,24 @@ fn parse_args() -> Args {
 }
 
 /// Phase 1: recall@10 and latency of ANN vs exact, per modality.
-fn index_benchmark(snap: &Snapshot, n: usize, probes: usize, seed: u64, full: bool) {
+fn index_benchmark(
+    model: &TrainedModel,
+    snap: &Snapshot,
+    n: usize,
+    probes: usize,
+    seed: u64,
+    full: bool,
+) {
     println!("-- phase 1: ANN vs brute force (top-10, {probes} probes/modality) --");
     let mut scratch = SearchScratch::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let dim = snap.normalized().dim();
     for ty in [NodeType::Word, NodeType::Time, NodeType::Location] {
-        let offset = snap.model().space().offset(ty) as usize;
+        let offset = snap.artifacts().space().offset(ty) as usize;
         // Pre-build normalized probe vectors near indexed rows.
         let queries: Vec<Vec<f32>> = (0..probes)
             .map(|i| {
-                let raw = probe_near(snap.model(), offset + (i * 131) % n, 0.05, &mut rng);
+                let raw = probe_near(model, offset + (i * 131) % n, 0.05, &mut rng);
                 let mut unit = vec![0.0f32; dim];
                 embed::math::normalize_into(&raw, &mut unit);
                 unit
@@ -129,7 +137,13 @@ fn index_benchmark(snap: &Snapshot, n: usize, probes: usize, seed: u64, full: bo
 }
 
 /// Phase 2: concurrent mixed load with a hot-swapping publisher.
-fn load_benchmark(engine: Arc<QueryEngine>, n: usize, args: &Args, duration: Duration) {
+fn load_benchmark(
+    engine: Arc<QueryEngine>,
+    model: &TrainedModel,
+    n: usize,
+    args: &Args,
+    duration: Duration,
+) {
     println!(
         "-- phase 2: {} workers, publisher swapping every 250 ms, {} ms --",
         args.threads,
@@ -175,10 +189,9 @@ fn load_benchmark(engine: Arc<QueryEngine>, n: usize, args: &Args, duration: Dur
         }
 
         // Publisher: rebuild + hot-swap on a fixed cadence.
-        let model = engine.snapshot().model().clone();
         while started.elapsed() < duration {
             std::thread::sleep(Duration::from_millis(250).min(duration / 4));
-            engine.publish(model.clone());
+            engine.publish(model);
             publishes += 1;
         }
         stop.store(true, Ordering::Relaxed);
@@ -230,7 +243,7 @@ fn main() {
     let model = synthetic_model(n, dim, args.seed);
     println!("model built in {:.2}s", t0.elapsed().as_secs_f64());
     let t0 = Instant::now();
-    let engine = Arc::new(QueryEngine::new(model, EngineParams::default()));
+    let engine = Arc::new(QueryEngine::new(&model, EngineParams::default()));
     let snap = engine.snapshot();
     println!(
         "snapshot + HNSW indexes built in {:.2}s (ANN: words={} times={} places={})",
@@ -241,8 +254,8 @@ fn main() {
     );
     assert!(snap.is_ann(NodeType::Word), "corpus must exceed ANN threshold");
 
-    index_benchmark(&snap, n, probes, args.seed ^ 0xBEEF, !args.smoke);
+    index_benchmark(&model, &snap, n, probes, args.seed ^ 0xBEEF, !args.smoke);
     drop(snap);
-    load_benchmark(engine, n, &args, duration);
+    load_benchmark(engine, &model, n, &args, duration);
     println!("serve_load: all assertions passed");
 }

@@ -31,8 +31,9 @@ pub mod resilient;
 
 pub use ablation::Variant;
 pub use config::ActorConfig;
+pub use embed::StoreDelta;
 pub use error::{ConfigError, FitError, PersistError};
-pub use model::TrainedModel;
+pub use model::{ModelArtifacts, TrainedModel};
 pub use online::{OnlineActor, OnlineParams};
 pub use persist::ModelMeta;
 pub use pipeline::{fit, FitReport};

@@ -1,5 +1,7 @@
 //! The trained ACTOR model and its cross-modal query API (§3, §6.2.1).
 
+use std::sync::Arc;
+
 use embed::math::{cosine, mean_of};
 use embed::EmbeddingStore;
 use hotspot::{SpatialHotspots, TemporalHotspots};
@@ -8,19 +10,16 @@ use stgraph::{NodeId, NodeSpace, NodeType};
 
 use crate::config::ActorConfig;
 
-/// A trained cross-modal embedding model.
+/// The immutable components of a trained model: the node layout, the
+/// detected hotspots, the vocabulary, and the training configuration.
 ///
-/// Every spatial hotspot, temporal hotspot, keyword, and user owns a
-/// center vector; queries map raw modalities (a point, a timestamp, a bag
-/// of words) onto unit vectors and rank candidates by cosine similarity,
-/// exactly the prediction procedure of §6.2.1.
-///
-/// `Clone` deep-copies the embedding store: that is what lets a serving
-/// snapshot freeze the model while training (checkpoint restore, online
-/// updates) keeps mutating the original.
-#[derive(Clone)]
-pub struct TrainedModel {
-    pub(crate) store: EmbeddingStore,
+/// Training mutates embedding *rows*, never these — they are fixed the
+/// moment `prepare` runs. Splitting them out of [`TrainedModel`] behind an
+/// `Arc` means publishing, snapshotting, and checkpointing share one copy
+/// instead of deep-cloning hotspot tables and vocabularies alongside every
+/// store: after `prepare` builds them once, they are never copied again.
+#[derive(Debug)]
+pub struct ModelArtifacts {
     pub(crate) space: NodeSpace,
     pub(crate) spatial: SpatialHotspots,
     pub(crate) temporal: TemporalHotspots,
@@ -28,34 +27,22 @@ pub struct TrainedModel {
     pub(crate) config: ActorConfig,
 }
 
-impl TrainedModel {
-    /// Assembles a model from parts.
-    ///
-    /// Used by the baseline trainers (LINE, CrossMap, metapath2vec), which
-    /// share ACTOR's hotspot-and-graph substrate and scoring rule but
-    /// produce their stores through different training objectives.
-    pub fn from_parts(
-        store: EmbeddingStore,
+impl ModelArtifacts {
+    /// Assembles the immutable artifact set.
+    pub fn new(
         space: NodeSpace,
         spatial: SpatialHotspots,
         temporal: TemporalHotspots,
         vocab: Vocabulary,
         config: ActorConfig,
     ) -> Self {
-        assert_eq!(store.n_nodes(), space.len(), "store/space size mismatch");
         Self {
-            store,
             space,
             spatial,
             temporal,
             vocab,
             config,
         }
-    }
-
-    /// The embedding store (centers + contexts).
-    pub fn store(&self) -> &EmbeddingStore {
-        &self.store
     }
 
     /// The node layout.
@@ -83,15 +70,9 @@ impl TrainedModel {
         &self.config
     }
 
-    /// Center vector of a graph vertex.
-    pub fn vector(&self, node: NodeId) -> &[f32] {
-        self.store.centers.row(node.idx())
-    }
-
     /// Vertex for a raw location: its nearest spatial hotspot.
     pub fn location_node(&self, p: GeoPoint) -> NodeId {
-        self.space
-            .node(NodeType::Location, self.spatial.assign(p).0)
+        self.space.node(NodeType::Location, self.spatial.assign(p).0)
     }
 
     /// Vertex for a raw timestamp: its nearest temporal hotspot (wrapped
@@ -115,6 +96,129 @@ impl TrainedModel {
     /// Vertex for a user id, if users were embedded.
     pub fn user_node(&self, u: UserId) -> Option<NodeId> {
         (u.0 < self.space.n_user).then(|| self.space.node(NodeType::User, u.0))
+    }
+}
+
+/// A trained cross-modal embedding model.
+///
+/// Every spatial hotspot, temporal hotspot, keyword, and user owns a
+/// center vector; queries map raw modalities (a point, a timestamp, a bag
+/// of words) onto unit vectors and rank candidates by cosine similarity,
+/// exactly the prediction procedure of §6.2.1.
+///
+/// Structurally the model is an `Arc<`[`ModelArtifacts`]`>` (shared,
+/// immutable) plus the mutable [`EmbeddingStore`]. `Clone` deep-copies
+/// only the store — the artifacts are reference-shared — which is what
+/// lets a frozen copy coexist with a training original at the cost of the
+/// embedding rows alone.
+#[derive(Clone)]
+pub struct TrainedModel {
+    pub(crate) artifacts: Arc<ModelArtifacts>,
+    pub(crate) store: EmbeddingStore,
+}
+
+impl TrainedModel {
+    /// Assembles a model from parts.
+    ///
+    /// Used by the baseline trainers (LINE, CrossMap, metapath2vec), which
+    /// share ACTOR's hotspot-and-graph substrate and scoring rule but
+    /// produce their stores through different training objectives.
+    pub fn from_parts(
+        store: EmbeddingStore,
+        space: NodeSpace,
+        spatial: SpatialHotspots,
+        temporal: TemporalHotspots,
+        vocab: Vocabulary,
+        config: ActorConfig,
+    ) -> Self {
+        Self::from_shared(
+            Arc::new(ModelArtifacts::new(space, spatial, temporal, vocab, config)),
+            store,
+        )
+    }
+
+    /// Assembles a model around an already-shared artifact set (the
+    /// zero-copy constructor the training pipeline and delta publishers
+    /// use).
+    pub fn from_shared(artifacts: Arc<ModelArtifacts>, store: EmbeddingStore) -> Self {
+        assert_eq!(
+            store.n_nodes(),
+            artifacts.space.len(),
+            "store/space size mismatch"
+        );
+        Self { artifacts, store }
+    }
+
+    /// The shared immutable artifacts.
+    pub fn artifacts(&self) -> &Arc<ModelArtifacts> {
+        &self.artifacts
+    }
+
+    /// The embedding store (centers + contexts).
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Mutable access to the embedding store (streaming updaters, tests,
+    /// and benches that simulate them; touched rows are dirty-tracked as
+    /// usual).
+    pub fn store_mut(&mut self) -> &mut EmbeddingStore {
+        &mut self.store
+    }
+
+    /// The node layout.
+    pub fn space(&self) -> &NodeSpace {
+        &self.artifacts.space
+    }
+
+    /// Detected spatial hotspots.
+    pub fn spatial_hotspots(&self) -> &SpatialHotspots {
+        &self.artifacts.spatial
+    }
+
+    /// Detected temporal hotspots.
+    pub fn temporal_hotspots(&self) -> &TemporalHotspots {
+        &self.artifacts.temporal
+    }
+
+    /// The training vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.artifacts.vocab
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &ActorConfig {
+        &self.artifacts.config
+    }
+
+    /// Center vector of a graph vertex.
+    pub fn vector(&self, node: NodeId) -> &[f32] {
+        self.store.centers.row(node.idx())
+    }
+
+    /// Vertex for a raw location: its nearest spatial hotspot.
+    pub fn location_node(&self, p: GeoPoint) -> NodeId {
+        self.artifacts.location_node(p)
+    }
+
+    /// Vertex for a raw timestamp (see [`ModelArtifacts::time_node`]).
+    pub fn time_node(&self, t: Timestamp) -> NodeId {
+        self.artifacts.time_node(t)
+    }
+
+    /// Vertex for a second-of-day value.
+    pub fn time_of_day_node(&self, seconds: f64) -> NodeId {
+        self.artifacts.time_of_day_node(seconds)
+    }
+
+    /// Vertex for a keyword id.
+    pub fn word_node(&self, w: KeywordId) -> NodeId {
+        self.artifacts.word_node(w)
+    }
+
+    /// Vertex for a user id, if users were embedded.
+    pub fn user_node(&self, u: UserId) -> Option<NodeId> {
+        self.artifacts.user_node(u)
     }
 
     /// Mean center vector of a bag of keywords (the text representation
@@ -142,6 +246,7 @@ impl TrainedModel {
     /// (the neighbor-search operation of §6.4).
     pub fn nearest_of_type(&self, query: &[f32], ty: NodeType, k: usize) -> Vec<(NodeId, f64)> {
         let mut scored: Vec<(NodeId, f64)> = self
+            .artifacts
             .space
             .nodes_of(ty)
             .map(|n| (n, cosine(query, self.vector(n))))
@@ -157,8 +262,8 @@ impl TrainedModel {
         self.nearest_of_type(query, NodeType::Word, k)
             .into_iter()
             .map(|(n, s)| {
-                let kw = KeywordId(self.space.local_of(n));
-                (self.vocab.word(kw).to_string(), s)
+                let kw = KeywordId(self.artifacts.space.local_of(n));
+                (self.artifacts.vocab.word(kw).to_string(), s)
             })
             .collect()
     }
@@ -308,14 +413,19 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(1);
         let store = EmbeddingStore::init(space.len(), 8, &mut rng);
-        TrainedModel {
-            store,
-            space,
-            spatial,
-            temporal,
-            vocab,
-            config: ActorConfig::fast(),
-        }
+        TrainedModel::from_parts(store, space, spatial, temporal, vocab, ActorConfig::fast())
+    }
+
+    #[test]
+    fn clone_shares_artifacts_and_copies_the_store() {
+        let mut m = tiny_model();
+        let frozen = m.clone();
+        assert!(Arc::ptr_eq(m.artifacts(), frozen.artifacts()));
+        // Mutating the original's store must not reach the clone.
+        let before = frozen.vector(NodeId(0)).to_vec();
+        m.store_mut().centers.row_mut(0)[0] += 1.0;
+        assert_eq!(frozen.vector(NodeId(0)), before.as_slice());
+        assert_ne!(m.vector(NodeId(0)), before.as_slice());
     }
 
     #[test]

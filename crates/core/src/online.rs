@@ -21,7 +21,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use stgraph::{NodeId, NodeType};
 
 use crate::model::TrainedModel;
-use crate::publish::ModelSink;
+use crate::publish::{record_publish, ModelSink};
 
 /// Streaming-update parameters.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +82,9 @@ pub struct OnlineActor {
     skipped_records: u64,
     /// Snapshot sink plus publication cadence in observed records.
     sink: Option<(std::sync::Arc<dyn ModelSink>, u64)>,
+    /// Store generation the sink last caught up to; rows stamped after it
+    /// form the next delta publish.
+    synced_gen: u64,
 }
 
 impl OnlineActor {
@@ -104,20 +107,27 @@ impl OnlineActor {
             skipped_words: 0,
             skipped_records: 0,
             sink: None,
+            synced_gen: 0,
             model,
             params,
         }
     }
 
     /// Publishes the continuously updated model to `sink` every `every`
-    /// successfully observed records (and once immediately, so the sink is
-    /// never behind the wrapped model). This is how a serving engine
-    /// tracks a live stream: attach its publisher here and readers pick up
-    /// a fresh snapshot on the cadence without ever locking the stream.
+    /// successfully observed records (and once in full immediately, so the
+    /// sink is never behind the wrapped model). Cadence publishes are
+    /// *deltas*: only the store rows the stream actually touched since the
+    /// last publish go through [`ModelSink::publish_delta`], so a serving
+    /// engine tracks a live stream without ever copying the full model.
     ///
     /// Panics if `every` is zero.
     pub fn attach_sink(&mut self, sink: std::sync::Arc<dyn ModelSink>, every: u64) {
         assert!(every > 0, "publication cadence must be positive");
+        // Close the open generation *before* the full publish: every row
+        // stamped so far is covered by this snapshot, and anything touched
+        // afterwards lands in the first delta.
+        self.synced_gen = self.model.store().close_generation();
+        record_publish(2 * self.model.store().n_nodes());
         sink.publish(&self.model);
         self.sink = Some((sink, every));
     }
@@ -147,17 +157,8 @@ impl OnlineActor {
         self.model
     }
 
-    fn type_index(ty: NodeType) -> usize {
-        match ty {
-            NodeType::Time => 0,
-            NodeType::Location => 1,
-            NodeType::Word => 2,
-            NodeType::User => 3,
-        }
-    }
-
     fn remember(&mut self, node: NodeId) {
-        let ty = Self::type_index(self.model.space().type_of(node));
+        let ty = self.model.space().type_of(node).index();
         // Bounded dedup-free reservoir: occasional duplicates only skew
         // negatives toward frequent nodes, which is the degree-biased
         // noise distribution anyway.
@@ -253,7 +254,10 @@ impl OnlineActor {
         self.observed += 1;
         if let Some((sink, every)) = &self.sink {
             if self.observed.is_multiple_of(*every) {
-                sink.publish(&self.model);
+                let delta = self.model.store().drain_dirty(self.synced_gen);
+                record_publish(delta.dirty_rows());
+                sink.publish_delta(&self.model, &delta);
+                self.synced_gen = delta.generation;
             }
         }
         true
@@ -269,7 +273,7 @@ impl OnlineActor {
         let upd = &mut self.updater;
 
         let neg_of = |ty: NodeType, rng: &mut StdRng| -> Option<usize> {
-            let pool = &seen[Self::type_index(ty)];
+            let pool = &seen[ty.index()];
             pool.choose(rng).map(|n| n.idx())
         };
 
@@ -416,6 +420,52 @@ mod tests {
             }
         }
         assert_eq!(sink.0.load(Ordering::SeqCst), 1 + accepted / 10);
+    }
+
+    #[test]
+    fn cadence_publishes_are_deltas_with_zero_full_model_copies() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Split {
+            full: AtomicU64,
+            deltas: AtomicU64,
+            delta_rows: AtomicU64,
+        }
+        impl crate::publish::ModelSink for Split {
+            fn publish(&self, _m: &TrainedModel) {
+                self.full.fetch_add(1, Ordering::SeqCst);
+            }
+            fn publish_delta(&self, _m: &TrainedModel, delta: &embed::StoreDelta) {
+                self.deltas.fetch_add(1, Ordering::SeqCst);
+                self.delta_rows
+                    .fetch_add(delta.dirty_rows() as u64, Ordering::SeqCst);
+            }
+        }
+
+        let (corpus, split, model) = fitted();
+        let n_nodes = model.space().len();
+        let mut online = OnlineActor::new(model, OnlineParams::default());
+        let sink = Arc::new(Split::default());
+        online.attach_sink(sink.clone(), 10);
+        assert_eq!(sink.full.load(Ordering::SeqCst), 1, "one full catch-up");
+        let mut accepted = 0u64;
+        for &rid in split.valid.iter() {
+            if online.observe(corpus.record(rid)) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 20, "need a few cadence windows");
+        // Steady state: every cadence publish went through the delta path.
+        assert_eq!(sink.full.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.deltas.load(Ordering::SeqCst), accepted / 10);
+        let rows = sink.delta_rows.load(Ordering::SeqCst);
+        assert!(rows > 0, "the stream touches rows");
+        assert!(
+            rows < sink.deltas.load(Ordering::SeqCst) * 2 * n_nodes as u64,
+            "deltas must be narrower than full republishes: {rows}"
+        );
     }
 
     #[test]

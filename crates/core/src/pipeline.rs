@@ -1,6 +1,6 @@
 //! The end-to-end ACTOR fitting pipeline (Algorithm 1).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use embed::hogwild;
 use embed::{EmbeddingStore, LineOrder, LineParams, LineTrainer, NegativeSamplingUpdate};
@@ -10,13 +10,13 @@ use rand::seq::IndexedRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use stgraph::build::RecordUnits;
 use stgraph::{
-    ActivityGraph, ActivityGraphBuilder, BuildOptions, EdgeSampler, EdgeType, NegativeTable,
-    NodeSpace, NodeType, UserGraph,
+    ActivityGraph, ActivityGraphBuilder, BuildOptions, EdgeSampler, EdgeType, EdgeTypeMap,
+    NegativeTable, NodeType, NodeTypeMap, UserGraph,
 };
 
 use crate::config::ActorConfig;
 use crate::error::FitError;
-use crate::model::TrainedModel;
+use crate::model::{ModelArtifacts, TrainedModel};
 
 /// Diagnostics emitted by [`fit`].
 ///
@@ -80,8 +80,8 @@ pub fn fit(
     let total_seconds = fit_span.finish().as_secs_f64();
 
     let report = FitReport {
-        n_spatial: prep.spatial.len(),
-        n_temporal: prep.temporal.len(),
+        n_spatial: prep.artifacts.spatial.len(),
+        n_temporal: prep.artifacts.temporal.len(),
         n_nodes: prep.graph.n_nodes(),
         n_edges: prep.graph.n_edges(),
         n_user_edges: prep.n_user_edges,
@@ -91,42 +91,48 @@ pub fn fit(
         total_seconds,
         telemetry: obs::RunTelemetry::since(&baseline),
     };
-    Ok((prep.into_model(corpus, config), report))
+    Ok((prep.into_model(), report))
 }
 
-/// Everything Algorithm-1 lines 1–4 produce: the initialized embedding
-/// store plus the immutable training context (graph, samplers, negative
-/// tables) that lines 5–11 consume.
+/// Everything Algorithm-1 lines 1–4 produce: the shared immutable
+/// [`ModelArtifacts`] (hotspots, layout, vocab, config — built here,
+/// never copied again), the initialized embedding store, and the training
+/// context (graph, samplers, negative tables) that lines 5–11 consume.
 ///
 /// Splitting preparation from training lets the resilience driver
 /// ([`crate::fit_checkpointed`]) run the SGD loop as a sequence of
 /// checkpointed segments over one shared `Prepared` — and swap the store
-/// for a restored snapshot between segments.
+/// for a restored snapshot between segments. The sampler / negative
+/// tables live in dense [`EdgeTypeMap`]s: the SGD hot loop resolves them
+/// per training step, and an array index beats hashing a
+/// `(EdgeType, NodeType)` key there.
 pub(crate) struct Prepared {
+    pub artifacts: Arc<ModelArtifacts>,
     pub store: EmbeddingStore,
     pub graph: ActivityGraph,
     pub units: Vec<RecordUnits>,
-    pub edge_samplers: HashMap<EdgeType, EdgeSampler>,
-    pub neg_tables: HashMap<(EdgeType, NodeType), NegativeTable>,
-    pub spatial: SpatialHotspots,
-    pub temporal: TemporalHotspots,
-    pub space: NodeSpace,
+    pub edge_samplers: EdgeTypeMap<EdgeSampler>,
+    pub neg_tables: EdgeTypeMap<NodeTypeMap<NegativeTable>>,
     pub n_user_edges: usize,
     pub pretrained: bool,
 }
 
 impl Prepared {
-    /// Consumes the prepared state into a [`TrainedModel`].
-    pub(crate) fn into_model(self, corpus: &Corpus, config: &ActorConfig) -> TrainedModel {
-        TrainedModel {
-            store: self.store,
-            space: self.space,
-            spatial: self.spatial,
-            temporal: self.temporal,
-            vocab: corpus.vocab().clone(),
-            config: config.clone(),
-        }
+    /// Consumes the prepared state into a [`TrainedModel`] — a move of
+    /// the store and an `Arc` bump, no copies.
+    pub(crate) fn into_model(self) -> TrainedModel {
+        TrainedModel::from_shared(self.artifacts, self.store)
     }
+}
+
+/// Dense lookup of the negative table for `(ty, side)`.
+#[inline]
+fn neg_of(
+    neg_tables: &EdgeTypeMap<NodeTypeMap<NegativeTable>>,
+    ty: EdgeType,
+    side: NodeType,
+) -> Option<&NegativeTable> {
+    neg_tables.get(ty)?.get(side)
 }
 
 /// Algorithm-1 lines 1–4 (hotspots, graphs, LINE pre-training, unit
@@ -238,9 +244,9 @@ pub(crate) fn prepare(corpus: &Corpus, train_ids: &[RecordId], config: &ActorCon
     }
     pretrain_span.finish();
 
-    // Samplers for lines 5–11.
-    let mut edge_samplers: HashMap<EdgeType, EdgeSampler> = HashMap::new();
-    let mut neg_tables: HashMap<(EdgeType, NodeType), NegativeTable> = HashMap::new();
+    // Samplers for lines 5–11, in dense per-type tables.
+    let mut edge_samplers: EdgeTypeMap<EdgeSampler> = EdgeTypeMap::new();
+    let mut neg_tables: EdgeTypeMap<NodeTypeMap<NegativeTable>> = EdgeTypeMap::new();
     for ty in EdgeType::ALL {
         if let Some(s) = EdgeSampler::new(&graph, ty) {
             edge_samplers.insert(ty, s);
@@ -248,20 +254,28 @@ pub(crate) fn prepare(corpus: &Corpus, train_ids: &[RecordId], config: &ActorCon
         let (a, b) = ty.endpoints();
         for side in [a, b] {
             if let Some(t) = NegativeTable::with_power(&graph, ty, side, config.negative_power) {
-                neg_tables.insert((ty, side), t);
+                neg_tables
+                    .get_or_insert_with(ty, NodeTypeMap::new)
+                    .insert(side, t);
             }
         }
     }
 
+    let artifacts = Arc::new(ModelArtifacts::new(
+        space,
+        spatial,
+        temporal,
+        corpus.vocab().clone(),
+        config.clone(),
+    ));
+
     Prepared {
+        artifacts,
         store,
         graph,
         units,
         edge_samplers,
         neg_tables,
-        spatial,
-        temporal,
-        space,
         n_user_edges: user_graph.n_edges(),
         pretrained,
     }
@@ -419,7 +433,7 @@ pub(crate) fn train_epoch_range(
             // Inter-record meta-graph batches (line 6–8).
             if config.use_inter {
                 for &(ty, count) in &inter_batches {
-                    if let Some(sampler) = edge_samplers.get(&ty) {
+                    if let Some(sampler) = edge_samplers.get(ty) {
                         for _ in 0..count {
                             round_loss +=
                                 train_edge(store, sampler, ty, neg_tables, &mut upd, rng);
@@ -437,7 +451,7 @@ pub(crate) fn train_epoch_range(
                 }
             } else {
                 for &(ty, count) in &intra_batches {
-                    if let Some(sampler) = edge_samplers.get(&ty) {
+                    if let Some(sampler) = edge_samplers.get(ty) {
                         for _ in 0..count {
                             round_loss +=
                                 train_edge(store, sampler, ty, neg_tables, &mut upd, rng);
@@ -478,7 +492,7 @@ fn train_edge(
     store: &EmbeddingStore,
     sampler: &EdgeSampler,
     ty: EdgeType,
-    neg_tables: &HashMap<(EdgeType, NodeType), NegativeTable>,
+    neg_tables: &EdgeTypeMap<NodeTypeMap<NegativeTable>>,
     upd: &mut NegativeSamplingUpdate,
     rng: &mut StdRng,
 ) -> f64 {
@@ -489,7 +503,7 @@ fn train_edge(
         std::mem::swap(&mut a, &mut b);
         ctx_side = ta;
     }
-    if let Some(neg) = neg_tables.get(&(ty, ctx_side)) {
+    if let Some(neg) = neg_of(neg_tables, ty, ctx_side) {
         upd.step(store, a.idx(), b.idx(), rng, |r| neg.sample(r).idx())
     } else {
         0.0
@@ -503,7 +517,7 @@ fn train_edge(
 fn train_record_bag(
     store: &EmbeddingStore,
     units: &[RecordUnits],
-    neg_tables: &HashMap<(EdgeType, NodeType), NegativeTable>,
+    neg_tables: &EdgeTypeMap<NodeTypeMap<NegativeTable>>,
     upd: &mut NegativeSamplingUpdate,
     rng: &mut StdRng,
 ) -> (f64, u64) {
@@ -515,13 +529,13 @@ fn train_record_bag(
     let mut updates = 0u64;
 
     // TL (both directions, random order).
-    if let Some(neg) = neg_tables.get(&(EdgeType::TL, NodeType::Location)) {
+    if let Some(neg) = neg_of(neg_tables, EdgeType::TL, NodeType::Location) {
         loss += upd.step(store, rec.time.idx(), rec.location.idx(), rng, |r| {
             neg.sample(r).idx()
         });
         updates += 1;
     }
-    if let Some(neg) = neg_tables.get(&(EdgeType::TL, NodeType::Time)) {
+    if let Some(neg) = neg_of(neg_tables, EdgeType::TL, NodeType::Time) {
         loss += upd.step(store, rec.location.idx(), rec.time.idx(), rng, |r| {
             neg.sample(r).idx()
         });
@@ -530,21 +544,21 @@ fn train_record_bag(
 
     if !bag.is_empty() {
         // LW: bag → location, location → one word.
-        if let Some(neg) = neg_tables.get(&(EdgeType::LW, NodeType::Location)) {
+        if let Some(neg) = neg_of(neg_tables, EdgeType::LW, NodeType::Location) {
             loss += upd.step_bag(store, &bag, rec.location.idx(), rng, |r| neg.sample(r).idx());
             updates += 1;
         }
-        if let Some(neg) = neg_tables.get(&(EdgeType::LW, NodeType::Word)) {
+        if let Some(neg) = neg_of(neg_tables, EdgeType::LW, NodeType::Word) {
             let w = *bag.choose(rng).expect("non-empty bag");
             loss += upd.step(store, rec.location.idx(), w, rng, |r| neg.sample(r).idx());
             updates += 1;
         }
         // WT: bag → time, time → one word.
-        if let Some(neg) = neg_tables.get(&(EdgeType::WT, NodeType::Time)) {
+        if let Some(neg) = neg_of(neg_tables, EdgeType::WT, NodeType::Time) {
             loss += upd.step_bag(store, &bag, rec.time.idx(), rng, |r| neg.sample(r).idx());
             updates += 1;
         }
-        if let Some(neg) = neg_tables.get(&(EdgeType::WT, NodeType::Word)) {
+        if let Some(neg) = neg_of(neg_tables, EdgeType::WT, NodeType::Word) {
             let w = *bag.choose(rng).expect("non-empty bag");
             loss += upd.step(store, rec.time.idx(), w, rng, |r| neg.sample(r).idx());
             updates += 1;
@@ -553,7 +567,7 @@ fn train_record_bag(
         // mass grows quadratically in its length, so a single pair would
         // under-train the heaviest intra edge class.
         if bag.len() >= 2 {
-            if let Some(neg) = neg_tables.get(&(EdgeType::WW, NodeType::Word)) {
+            if let Some(neg) = neg_of(neg_tables, EdgeType::WW, NodeType::Word) {
                 let n_pairs = (bag.len() * (bag.len() - 1) / 2).min(3);
                 for _ in 0..n_pairs {
                     let i = rng.random_range(0..bag.len());

@@ -8,6 +8,7 @@
 //! [`TrainedModel`] implements it, and the training entry points accept
 //! one.
 
+use embed::StoreDelta;
 use mobility::{Corpus, RecordId};
 
 use crate::config::ActorConfig;
@@ -22,11 +23,27 @@ use crate::resilient::{fit_resume, ResilienceOptions, ResilienceReport};
 /// training and should do their heavy lifting (index builds, snapshot
 /// swaps) without blocking for long — `publish` sits on the training
 /// thread's critical path.
+///
+/// Both methods receive a borrow; the sink copies what it needs and
+/// training retains ownership. Because the model is artifacts + store
+/// (see [`crate::ModelArtifacts`]), a sink that keeps the `Arc` from a
+/// previous publish can recognize an unchanged artifact set by pointer
+/// and reuse everything derived from it.
 pub trait ModelSink: Send + Sync {
-    /// Absorbs a finished model. The sink receives a borrow and copies
-    /// what it needs (`TrainedModel` is `Clone`); training retains
-    /// ownership and may keep mutating its copy afterwards.
+    /// Absorbs a finished model in full.
     fn publish(&self, model: &TrainedModel);
+
+    /// Absorbs an incrementally updated model: only the store rows listed
+    /// in `delta` changed since this sink last saw `model` (same artifact
+    /// `Arc`, same shape). Publishers obtain the delta from
+    /// [`embed::EmbeddingStore::drain_dirty`] between training steps.
+    ///
+    /// The default forwards to [`ModelSink::publish`], so sinks without an
+    /// incremental path stay correct — just not cheap.
+    fn publish_delta(&self, model: &TrainedModel, delta: &StoreDelta) {
+        let _ = delta;
+        self.publish(model);
+    }
 }
 
 /// A sink that drops every model; useful as a default.
@@ -35,6 +52,15 @@ pub struct NullSink;
 
 impl ModelSink for NullSink {
     fn publish(&self, _model: &TrainedModel) {}
+}
+
+/// Records one publish in the obs registry: `core.publish.count` counts
+/// publishes of either form, `core.publish.dirty_rows` accumulates the
+/// store rows actually shipped (all rows for a full publish, the delta's
+/// row count for an incremental one).
+pub(crate) fn record_publish(dirty_rows: usize) {
+    obs::counter("core.publish.count").incr();
+    obs::counter("core.publish.dirty_rows").add(dirty_rows as u64);
 }
 
 /// [`fit`](crate::pipeline::fit), then publish the finished model to
@@ -47,6 +73,7 @@ pub fn fit_with_sink(
     sink: &dyn ModelSink,
 ) -> Result<(TrainedModel, FitReport), FitError> {
     let (model, report) = fit(corpus, train_ids, config)?;
+    record_publish(2 * model.store().n_nodes());
     sink.publish(&model);
     Ok((model, report))
 }
@@ -62,6 +89,7 @@ pub fn fit_resume_with_sink(
     sink: &dyn ModelSink,
 ) -> Result<(TrainedModel, FitReport, ResilienceReport), FitError> {
     let (model, report, resilience) = fit_resume(corpus, train_ids, config, opts)?;
+    record_publish(2 * model.store().n_nodes());
     sink.publish(&model);
     Ok((model, report, resilience))
 }
@@ -100,15 +128,46 @@ mod tests {
     }
 
     #[test]
-    fn cloned_model_is_independent_of_the_original() {
+    fn delta_publish_carries_only_dirty_rows() {
+        struct DeltaSink {
+            full: AtomicUsize,
+            delta_rows: AtomicUsize,
+        }
+        impl ModelSink for DeltaSink {
+            fn publish(&self, _model: &TrainedModel) {
+                self.full.fetch_add(1, Ordering::SeqCst);
+            }
+            fn publish_delta(&self, _model: &TrainedModel, delta: &StoreDelta) {
+                self.delta_rows.fetch_add(delta.dirty_rows(), Ordering::SeqCst);
+            }
+        }
+
         let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(6)).unwrap();
         let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
         let (mut model, _) = fit(&corpus, &split.train, &ActorConfig::fast()).unwrap();
-        let frozen = model.clone();
-        let before: Vec<f32> = frozen.store().centers.row(0).to_vec();
-        // Mutate the original; the clone must not move.
-        model.store.centers.row_mut(0).fill(123.0);
-        assert_eq!(frozen.store().centers.row(0), before.as_slice());
-        assert!(model.store().centers.row(0).iter().all(|&x| x == 123.0));
+        let sink = DeltaSink {
+            full: AtomicUsize::new(0),
+            delta_rows: AtomicUsize::new(0),
+        };
+
+        // Sync point, then touch exactly two center rows.
+        let sync = model.store().close_generation();
+        model.store_mut().centers.row_mut(0).fill(123.0);
+        model.store_mut().centers.row_mut(3).fill(-1.0);
+        let delta = model.store().drain_dirty(sync);
+        sink.publish_delta(&model, &delta);
+        assert_eq!(sink.delta_rows.load(Ordering::SeqCst), 2);
+        assert_eq!(sink.full.load(Ordering::SeqCst), 0, "no full-model publish");
+
+        // A sink without an incremental path falls back to a full publish.
+        struct FullOnly(AtomicUsize);
+        impl ModelSink for FullOnly {
+            fn publish(&self, _model: &TrainedModel) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let fallback = FullOnly(AtomicUsize::new(0));
+        fallback.publish_delta(&model, &delta);
+        assert_eq!(fallback.0.load(Ordering::SeqCst), 1);
     }
 }

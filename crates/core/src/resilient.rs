@@ -15,8 +15,9 @@
 //! per [`RetryPolicy`], failing with [`FitError::Diverged`] once the
 //! budget is exhausted. Stages 1–4 (hotspots, graphs, pre-training,
 //! init) are deterministic given `(corpus, config)` and are re-derived on
-//! resume rather than checkpointed — only the mutable embedding store and
-//! the epoch cursor go to disk.
+//! resume rather than checkpointed — only the mutable embedding store,
+//! its dirty-tracking generation cursor, and the epoch cursor go to disk;
+//! the immutable [`crate::ModelArtifacts`] are rebuilt by `prepare`.
 
 use std::path::PathBuf;
 
@@ -209,9 +210,16 @@ fn run_resilient(
     let mut epoch = 0usize;
     let mut lr_scale = 1.0f32;
 
+    // Checkpoint payloads are `[generation: u64 LE][store bytes]`: the
+    // store's dirty-tracking generation cursor rides along so a resumed
+    // run's publish sync points stay monotonic with the original run's.
     let restore_store = |payload: Vec<u8>, current: &EmbeddingStore| -> Result<EmbeddingStore, FitError> {
-        let restored =
-            EmbeddingStore::from_bytes(bytes::Bytes::from(payload)).map_err(payload_error)?;
+        if payload.len() < 8 {
+            return Err(payload_error("checkpoint payload truncated".to_string()));
+        }
+        let generation = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let restored = EmbeddingStore::from_bytes(bytes::Bytes::from(payload).slice(8..))
+            .map_err(payload_error)?;
         if restored.n_nodes() != current.n_nodes() || restored.dim() != current.dim() {
             return Err(payload_error(format!(
                 "checkpoint shape {}x{} does not match this corpus/config ({}x{})",
@@ -221,6 +229,7 @@ fn run_resilient(
                 current.dim()
             )));
         }
+        restored.set_generation(generation);
         Ok(restored)
     };
 
@@ -247,7 +256,11 @@ fn run_resilient(
                 seed: config.seed,
                 lr_scale,
             };
-            writer.submit(meta, store.to_bytes())
+            let body = store.to_bytes();
+            let mut payload = bytes::BytesMut::with_capacity(8 + body.len());
+            bytes::BufMut::put_u64_le(&mut payload, store.generation());
+            bytes::BufMut::put_slice(&mut payload, &body);
+            writer.submit(meta, payload.freeze())
         };
 
     // Seed checkpoint: divergence recovery and post-crash resume have a
@@ -328,8 +341,8 @@ fn run_resilient(
     report.final_lr_scale = lr_scale;
 
     let fit_report = FitReport {
-        n_spatial: prep.spatial.len(),
-        n_temporal: prep.temporal.len(),
+        n_spatial: prep.artifacts.spatial_hotspots().len(),
+        n_temporal: prep.artifacts.temporal_hotspots().len(),
         n_nodes: prep.graph.n_nodes(),
         n_edges: prep.graph.n_edges(),
         n_user_edges: prep.n_user_edges,
@@ -339,7 +352,7 @@ fn run_resilient(
         total_seconds,
         telemetry: obs::RunTelemetry::since(&baseline),
     };
-    Ok((prep.into_model(corpus, config), fit_report, report))
+    Ok((prep.into_model(), fit_report, report))
 }
 
 #[cfg(test)]

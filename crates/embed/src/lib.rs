@@ -28,4 +28,4 @@ pub mod store;
 
 pub use line::{LineOrder, LineParams, LineTrainer};
 pub use sgd::{NegativeSamplingUpdate, SgdParams};
-pub use store::{EmbeddingStore, Matrix, NormalizedRows};
+pub use store::{EmbeddingStore, Matrix, NormalizedRows, StoreDelta};

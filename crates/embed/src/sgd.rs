@@ -47,12 +47,15 @@ fn clip_logit_grad(g: f32, x_norm: f32, clip: f32) -> f32 {
     }
 }
 
-/// Reusable update state (scratch gradient buffer + σ table), one per
-/// worker thread.
+/// Reusable update state (scratch buffers + σ table), one per worker
+/// thread.
 #[derive(Debug, Clone)]
 pub struct NegativeSamplingUpdate {
     sigmoid: SigmoidTable,
     grad: Vec<f32>,
+    /// Bag-sum scratch for [`NegativeSamplingUpdate::step_bag`]; a field
+    /// rather than a local so the hot loop allocates nothing per call.
+    bag_sum: Vec<f32>,
     params: SgdParams,
     /// Steps taken since the last flush to the `embed.sgd.steps` counter;
     /// batched so the hot loop touches no shared state.
@@ -74,6 +77,7 @@ impl NegativeSamplingUpdate {
         Self {
             sigmoid: SigmoidTable::new(),
             grad: vec![0.0; dim],
+            bag_sum: vec![0.0; dim],
             params,
             steps_pending: 0,
         }
@@ -221,20 +225,22 @@ impl NegativeSamplingUpdate {
         self.grad.iter_mut().for_each(|g| *g = 0.0);
         let mut loss = 0.0f64;
 
-        // Materialize the bag sum (reads are racy-but-benign).
-        let mut x_sum = vec![0.0f32; dim];
+        // Materialize the bag sum in the reusable scratch buffer (reads
+        // are racy-but-benign).
+        debug_assert_eq!(self.bag_sum.len(), dim);
+        self.bag_sum.iter_mut().for_each(|x| *x = 0.0);
         for &b in bag {
-            crate::math::axpy(1.0, store.centers.row(b), &mut x_sum);
+            crate::math::axpy(1.0, store.centers.row(b), &mut self.bag_sum);
         }
         let sum_norm = if clip > 0.0 {
-            crate::math::norm(&x_sum)
+            crate::math::norm(&self.bag_sum)
         } else {
             0.0
         };
 
         {
             let x_ctx = unsafe { store.contexts.row_mut_racy(context) };
-            let score = crate::math::dot(&x_sum, x_ctx);
+            let score = crate::math::dot(&self.bag_sum, x_ctx);
             let sig = self.sigmoid.value(score);
             let mut g = (1.0 - sig) * lr;
             if clip > 0.0 {
@@ -242,7 +248,7 @@ impl NegativeSamplingUpdate {
             }
             loss -= (sig.max(1e-7) as f64).ln();
             crate::math::axpy(g, x_ctx, &mut self.grad);
-            crate::math::axpy(g, &x_sum, x_ctx);
+            crate::math::axpy(g, &self.bag_sum, x_ctx);
         }
         for _ in 0..self.params.negatives {
             let neg = sample_negative(rng);
@@ -250,7 +256,7 @@ impl NegativeSamplingUpdate {
                 continue;
             }
             let x_neg = unsafe { store.contexts.row_mut_racy(neg) };
-            let score = crate::math::dot(&x_sum, x_neg);
+            let score = crate::math::dot(&self.bag_sum, x_neg);
             let sig = self.sigmoid.value(score);
             let mut g = -sig * lr;
             if clip > 0.0 {
@@ -258,7 +264,7 @@ impl NegativeSamplingUpdate {
             }
             loss -= ((1.0 - sig).max(1e-7) as f64).ln();
             crate::math::axpy(g, x_neg, &mut self.grad);
-            crate::math::axpy(g, &x_sum, x_neg);
+            crate::math::axpy(g, &self.bag_sum, x_neg);
         }
 
         self.clip_accumulated_grad();

@@ -58,7 +58,7 @@ impl NeighborSearcher {
     /// to scanning the model directly).
     pub fn new(model: &TrainedModel) -> Self {
         Self {
-            engine: QueryEngine::new(model.clone(), EngineParams::default()),
+            engine: QueryEngine::new(model, EngineParams::default()),
         }
     }
 

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use actor_core::{ModelSink, TrainedModel};
+use actor_core::{ModelSink, StoreDelta, TrainedModel};
 use embed::math::normalize_into;
 use mobility::{GeoPoint, KeywordId};
 use stgraph::{NodeId, NodeType};
@@ -82,7 +82,9 @@ pub struct QueryEngine {
 
 impl QueryEngine {
     /// Builds the first snapshot (epoch 1) from `model` and starts serving.
-    pub fn new(model: TrainedModel, params: EngineParams) -> Self {
+    /// The model is borrowed — the engine freezes what it needs and the
+    /// caller keeps training on the original.
+    pub fn new(model: &TrainedModel, params: EngineParams) -> Self {
         let first = Arc::new(Snapshot::build(model, &params.index, 1));
         Self {
             cell: SnapshotCell::new(first),
@@ -94,7 +96,7 @@ impl QueryEngine {
     }
 
     /// An engine with default parameters.
-    pub fn with_defaults(model: TrainedModel) -> Self {
+    pub fn with_defaults(model: &TrainedModel) -> Self {
         Self::new(model, EngineParams::default())
     }
 
@@ -113,9 +115,31 @@ impl QueryEngine {
     /// path, swaps it in, and drops the (now unreachable) cache entries of
     /// older epochs. Safe to call concurrently with queries; concurrent
     /// publishers are serialized by the cell.
-    pub fn publish(&self, model: TrainedModel) {
+    pub fn publish(&self, model: &TrainedModel) {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let snap = Arc::new(Snapshot::build(model, &self.params.index, epoch));
+        self.cell.store(snap);
+        self.cache.clear();
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve.publish").incr();
+    }
+
+    /// Publishes an incrementally updated model generation: applies
+    /// `delta` on top of the currently served snapshot
+    /// ([`Snapshot::apply_delta`]) instead of rebuilding from scratch, so
+    /// a streaming publish costs time proportional to the rows that
+    /// actually changed. Falls back to a full build automatically when the
+    /// model does not descend from the served snapshot.
+    pub fn publish_delta(&self, model: &TrainedModel, delta: &StoreDelta) {
+        let prev = self.cell.load();
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snap = Arc::new(Snapshot::apply_delta(
+            &prev,
+            model,
+            delta,
+            &self.params.index,
+            epoch,
+        ));
         self.cell.store(snap);
         self.cache.clear();
         self.publishes.fetch_add(1, Ordering::Relaxed);
@@ -128,7 +152,7 @@ impl QueryEngine {
         let snap = self.cell.load();
         let response = SCRATCH.with(|cells| {
             let (scratch, raw, unit) = &mut *cells.borrow_mut();
-            let desc = plan_query_vector(snap.model(), &req.kind, raw)?;
+            let desc = plan_query_vector(&snap, &req.kind, raw)?;
             unit.resize(raw.len(), 0.0);
             normalize_into(raw, unit);
 
@@ -163,29 +187,35 @@ impl QueryEngine {
 
 impl ModelSink for QueryEngine {
     fn publish(&self, model: &TrainedModel) {
-        QueryEngine::publish(self, model.clone());
+        QueryEngine::publish(self, model);
+    }
+
+    fn publish_delta(&self, model: &TrainedModel, delta: &StoreDelta) {
+        QueryEngine::publish_delta(self, model, delta);
     }
 }
 
 /// Resolves a query kind to its raw (un-normalized) §6.2.1 query vector,
-/// written into `raw`. Returns the display description.
+/// written into `raw`, against the snapshot's frozen rows and shared
+/// artifacts. Returns the display description.
 fn plan_query_vector(
-    model: &TrainedModel,
+    snap: &Snapshot,
     kind: &QueryKind,
     raw: &mut Vec<f32>,
 ) -> Result<String, QueryError> {
+    let arts = snap.artifacts();
     match kind {
         QueryKind::Spatial(p) => {
-            copy_node_vector(model, model.location_node(*p), raw);
+            copy_node_vector(snap, arts.location_node(*p), raw);
             Ok(format!("location ({:.4}, {:.4})", p.lat, p.lon))
         }
         QueryKind::Temporal(s) => {
-            copy_node_vector(model, model.time_of_day_node(*s), raw);
+            copy_node_vector(snap, arts.time_of_day_node(*s), raw);
             Ok(format!("time {}", mobility::types::format_time_of_day(*s)))
         }
         QueryKind::Keyword(w) => {
-            let kw = lookup_word(model, w)?;
-            copy_node_vector(model, model.word_node(kw), raw);
+            let kw = lookup_word(snap, w)?;
+            copy_node_vector(snap, arts.word_node(kw), raw);
             Ok(format!("keyword {w:?}"))
         }
         QueryKind::Composite {
@@ -195,27 +225,27 @@ fn plan_query_vector(
         } => {
             let kws: Vec<KeywordId> = words
                 .iter()
-                .map(|w| lookup_word(model, w))
+                .map(|w| lookup_word(snap, w))
                 .collect::<Result<_, _>>()?;
             let mut parts: Vec<Vec<f32>> = Vec::new();
             let mut desc: Vec<String> = Vec::new();
             if let Some(s) = second_of_day {
-                parts.push(model.vector(model.time_of_day_node(*s)).to_vec());
+                parts.push(snap.vector(arts.time_of_day_node(*s)).to_vec());
                 desc.push(mobility::types::format_time_of_day(*s));
             }
             if let Some(p) = point {
-                parts.push(model.vector(model.location_node(*p)).to_vec());
+                parts.push(snap.vector(arts.location_node(*p)).to_vec());
                 desc.push(format!("({:.4}, {:.4})", p.lat, p.lon));
             }
             if !kws.is_empty() {
-                parts.push(model.text_vector(&kws));
+                parts.push(snap.text_vector(&kws));
                 desc.push(words.join(" "));
             }
             if parts.is_empty() {
                 return Err(QueryError::EmptyQuery);
             }
             let views: Vec<&[f32]> = parts.iter().map(|v| v.as_slice()).collect();
-            let q = model.query_vector(&views);
+            let q = snap.query_vector(&views);
             raw.clear();
             raw.extend_from_slice(&q);
             Ok(desc.join(" + "))
@@ -223,16 +253,16 @@ fn plan_query_vector(
     }
 }
 
-fn lookup_word(model: &TrainedModel, w: &str) -> Result<KeywordId, QueryError> {
-    model
+fn lookup_word(snap: &Snapshot, w: &str) -> Result<KeywordId, QueryError> {
+    snap.artifacts()
         .vocab()
         .get(w)
         .ok_or_else(|| QueryError::UnknownWord(w.to_string()))
 }
 
-fn copy_node_vector(model: &TrainedModel, node: NodeId, raw: &mut Vec<f32>) {
+fn copy_node_vector(snap: &Snapshot, node: NodeId, raw: &mut Vec<f32>) {
     raw.clear();
-    raw.extend_from_slice(model.vector(node));
+    raw.extend_from_slice(snap.vector(node));
 }
 
 /// Runs the requested per-modality searches and renders hotspot centers /
@@ -244,13 +274,13 @@ fn answer(
     req: &QueryRequest,
     scratch: &mut SearchScratch,
 ) -> QueryResponse {
-    let model = snap.model();
+    let arts = snap.artifacts();
     let words = if req.modalities.words {
         snap.top_k(NodeType::Word, unit, req.k, None, scratch)
             .into_iter()
             .map(|(n, s)| {
-                let kw = KeywordId(model.space().local_of(n));
-                (model.vocab().word(kw).to_string(), s)
+                let kw = KeywordId(arts.space().local_of(n));
+                (arts.vocab().word(kw).to_string(), s)
             })
             .collect()
     } else {
@@ -260,9 +290,9 @@ fn answer(
         snap.top_k(NodeType::Time, unit, req.k, None, scratch)
             .into_iter()
             .map(|(n, s)| {
-                let local = model.space().local_of(n);
+                let local = arts.space().local_of(n);
                 (
-                    model.temporal_hotspots().center(hotspot::TemporalHotspotId(local)),
+                    arts.temporal_hotspots().center(hotspot::TemporalHotspotId(local)),
                     s,
                 )
             })
@@ -274,9 +304,9 @@ fn answer(
         snap.top_k(NodeType::Location, unit, req.k, None, scratch)
             .into_iter()
             .map(|(n, s)| {
-                let local = model.space().local_of(n);
+                let local = arts.space().local_of(n);
                 (
-                    model.spatial_hotspots().center(hotspot::SpatialHotspotId(local)),
+                    arts.spatial_hotspots().center(hotspot::SpatialHotspotId(local)),
                     s,
                 )
             })
@@ -313,7 +343,7 @@ mod tests {
     #[test]
     fn spatial_query_matches_model_reference_ranking() {
         let m = model();
-        let engine = QueryEngine::with_defaults(m.clone());
+        let engine = QueryEngine::with_defaults(&m);
         let p = GeoPoint::new(40.75, -73.99);
         let r = engine.query(&QueryRequest::spatial(p, 5)).unwrap();
         assert_eq!(r.words.len(), 5);
@@ -334,7 +364,7 @@ mod tests {
 
     #[test]
     fn repeat_queries_hit_the_cache() {
-        let engine = QueryEngine::with_defaults(model());
+        let engine = QueryEngine::with_defaults(&model());
         let req = QueryRequest::temporal(20.0 * 3600.0, 4);
         let first = engine.query(&req).unwrap();
         assert!(!first.from_cache);
@@ -349,7 +379,7 @@ mod tests {
 
     #[test]
     fn unknown_words_and_empty_composites_error() {
-        let engine = QueryEngine::with_defaults(model());
+        let engine = QueryEngine::with_defaults(&model());
         let err = engine
             .query(&QueryRequest::keyword("definitely_not_a_word_xyz", 3))
             .unwrap_err();
@@ -363,7 +393,7 @@ mod tests {
     #[test]
     fn composite_query_averages_modalities() {
         let m = model();
-        let engine = QueryEngine::with_defaults(m.clone());
+        let engine = QueryEngine::with_defaults(&m);
         let p = GeoPoint::new(40.7, -74.0);
         let s = 9.0 * 3600.0;
         let r = engine
@@ -381,7 +411,7 @@ mod tests {
 
     #[test]
     fn modality_mask_skips_unrequested_modalities() {
-        let engine = QueryEngine::with_defaults(model());
+        let engine = QueryEngine::with_defaults(&model());
         let r = engine
             .query(&QueryRequest::temporal(3600.0, 5).with_modalities(ModalityMask {
                 words: true,
@@ -397,14 +427,14 @@ mod tests {
     #[test]
     fn publish_bumps_epoch_and_invalidates_cache() {
         let m = model();
-        let engine = QueryEngine::with_defaults(m.clone());
+        let engine = QueryEngine::with_defaults(&m);
         let req = QueryRequest::keyword("beach", 3);
         // Skip if the synthetic vocab lacks the word.
         if engine.query(&req).is_err() {
             return;
         }
         assert!(engine.query(&req).unwrap().from_cache);
-        engine.publish(m.clone());
+        engine.publish(&m);
         assert_eq!(engine.epoch(), 2);
         let after = engine.query(&req).unwrap();
         assert!(!after.from_cache, "publish must invalidate cached answers");
@@ -413,11 +443,30 @@ mod tests {
     }
 
     #[test]
+    fn delta_publish_serves_the_updated_rows() {
+        let mut m = model();
+        let engine = QueryEngine::with_defaults(&m);
+        let sync = m.store().close_generation();
+        // Drift one word row, then publish only the delta.
+        let node = m.space().node(NodeType::Word, 1);
+        m.store_mut().centers.row_mut(node.idx())[0] += 0.5;
+        let delta = m.store().drain_dirty(sync);
+        assert_eq!(delta.dirty_rows(), 1);
+        engine.publish_delta(&m, &delta);
+        assert_eq!(engine.epoch(), 2);
+        assert_eq!(engine.stats().publishes, 1);
+        // The served snapshot carries the drifted row.
+        assert_eq!(engine.snapshot().vector(node), m.vector(node));
+    }
+
+    #[test]
     fn engine_is_a_model_sink() {
         let m = model();
-        let engine = QueryEngine::with_defaults(m.clone());
+        let engine = QueryEngine::with_defaults(&m);
         let sink: &dyn ModelSink = &engine;
         sink.publish(&m);
         assert_eq!(engine.epoch(), 2);
+        sink.publish_delta(&m, &m.store().drain_dirty(m.store().close_generation()));
+        assert_eq!(engine.epoch(), 3);
     }
 }

@@ -49,6 +49,12 @@ impl FlatVectors {
         assert!(dim > 0 && data.len().is_multiple_of(dim), "ragged vector data");
         Self { data, dim }
     }
+
+    /// Overwrites vector `i` (tests and benches simulating drift).
+    pub fn set(&mut self, i: u32, row: &[f32]) {
+        let i = i as usize;
+        self.data[i * self.dim..(i + 1) * self.dim].copy_from_slice(row);
+    }
 }
 
 impl VectorSource for FlatVectors {
@@ -175,6 +181,7 @@ impl Default for SearchScratch {
 }
 
 /// The index proper: per-layer adjacency plus the entry point.
+#[derive(Clone)]
 pub struct HnswIndex {
     params: HnswParams,
     /// Top layer of each element.
@@ -342,6 +349,45 @@ impl HnswIndex {
         let mut out: Vec<Scored> = scratch.beam.drain().map(|r| r.0).collect();
         out.sort_by(|a, b| b.cmp(a));
         out
+    }
+
+    /// Re-indexes element `id` after its vector changed in place: unlinks
+    /// it from every layer it lives on, then re-inserts it at its original
+    /// level against the *current* contents of `vecs`. This is the delta
+    /// counterpart of [`HnswIndex::build`] — re-inserting a handful of
+    /// drifted rows costs `O(dirty · ef · M · log n)` where a rebuild costs
+    /// that for *every* element.
+    ///
+    /// The level assignment is kept (it is a property of the id, not the
+    /// vector), so repeated updates never degrade the layer distribution.
+    pub fn update_row(&mut self, vecs: &impl VectorSource, id: u32, scratch: &mut SearchScratch) {
+        assert_eq!(vecs.len(), self.len(), "vector set changed size");
+        assert!((id as usize) < self.len(), "id out of range");
+        if self.len() <= 1 {
+            return; // a single element has no adjacency to fix
+        }
+        // Unlink: drop the element's own lists and every backlink to it.
+        let level = self.levels[id as usize] as usize;
+        for l in 0..=level.min(self.layers.len() - 1) {
+            let old = std::mem::take(&mut self.layers[l][id as usize]);
+            for nb in old {
+                self.layers[l][nb as usize].retain(|&x| x != id);
+            }
+        }
+        // If the element was the entry point, hand the role to the
+        // highest-leveled other element before descending through it.
+        if self.entry == id {
+            let mut best = if id == 0 { 1u32 } else { 0u32 };
+            for (i, &lv) in self.levels.iter().enumerate() {
+                let i = i as u32;
+                if i != id && lv > self.levels[best as usize] {
+                    best = i;
+                }
+            }
+            self.entry = best;
+            self.max_level = self.levels[best as usize] as usize;
+        }
+        self.insert(vecs, id, scratch);
     }
 
     /// Top-`k` most similar elements to the unit vector `q`, most similar
@@ -534,6 +580,80 @@ mod tests {
         let top = index.search(&vecs, &q, 3, None, &mut scratch);
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].0, 0);
+    }
+
+    #[test]
+    fn update_row_tracks_a_moved_vector() {
+        let mut vecs = clustered(800, 16, 10, 7);
+        let mut index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        // Move element 5 on top of element 700 (a different cluster).
+        let dest = vecs.vector(700).to_vec();
+        vecs.set(5, &dest);
+        index.update_row(&vecs, 5, &mut scratch);
+        let top: Vec<u32> = index
+            .search(&vecs, &dest, 5, Some(200), &mut scratch)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(top.contains(&5), "moved element reachable at its new home");
+        assert!(top.contains(&700));
+        // The stale neighborhood no longer surfaces it.
+        let old_home = vecs.vector(15).to_vec(); // same original cluster as 5
+        let near_old: Vec<u32> = index
+            .search(&vecs, &old_home, 10, Some(200), &mut scratch)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!near_old.contains(&5));
+    }
+
+    #[test]
+    fn update_row_on_the_entry_point_keeps_the_index_searchable() {
+        let vecs = clustered(300, 16, 6, 8);
+        let mut index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let entry = index.entry;
+        index.update_row(&vecs, entry, &mut scratch);
+        for probe in [0u32, 99, 299] {
+            let q = vecs.vector(probe).to_vec();
+            let top = index.search(&vecs, &q, 3, Some(300), &mut scratch);
+            assert_eq!(top[0].0, probe, "entry handoff broke reachability");
+        }
+    }
+
+    #[test]
+    fn updated_index_keeps_recall_against_exact() {
+        let mut vecs = clustered(2000, 32, 40, 9);
+        let mut index = HnswIndex::build(&vecs, HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        // Drift 2% of the elements to random other clusters.
+        for _ in 0..40 {
+            let id = rng.random_range(0..2000u32);
+            let src = rng.random_range(0..2000u32);
+            let moved: Vec<f32> = vecs.vector(src).to_vec();
+            vecs.set(id, &moved);
+            index.update_row(&vecs, id, &mut scratch);
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for probe in (0..2000u32).step_by(67) {
+            let q = vecs.vector(probe).to_vec();
+            let ann: Vec<u32> = index
+                .search(&vecs, &q, 10, None, &mut scratch)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let exact: Vec<u32> = exact_top_k(&vecs, &q, 10, &mut scratch)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            total += exact.len();
+            hit += exact.iter().filter(|i| ann.contains(i)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "post-update recall@10 = {recall:.3}");
     }
 
     #[test]

@@ -11,9 +11,13 @@
 //!   over unit vectors (cosine via dot product), with an exact linear-scan
 //!   fallback ([`hnsw::exact_top_k`]) that doubles as the conformance
 //!   reference.
-//! * [`snapshot`] — an immutable [`Snapshot`]: frozen model + normalized
-//!   rows + one index per modality. Small modalities stay exact; large
-//!   ones get HNSW ([`IndexParams::ann_threshold`]).
+//! * [`snapshot`] — an immutable [`Snapshot`]: shared model artifacts +
+//!   frozen raw/normalized rows + one index per modality. Small modalities
+//!   stay exact; large ones get HNSW ([`IndexParams::ann_threshold`]).
+//!   Snapshots build from scratch ([`Snapshot::build`]) or incrementally
+//!   from the previous snapshot plus a dirty-row delta
+//!   ([`Snapshot::apply_delta`]), re-inserting only the drifted nodes into
+//!   the HNSW graphs.
 //! * [`swap`] — [`SnapshotCell`], an epoch-based hot-swap cell (the
 //!   ArcSwap idea, hand-rolled from `Arc` + atomics): queries load the
 //!   current snapshot lock-free; publishes swap a new one in without
@@ -22,13 +26,14 @@
 //!   snapshot epoch lives in the key, so hot-swaps invalidate for free.
 //! * [`query`] / [`engine`] — the typed request/response API and the
 //!   [`QueryEngine`] tying it all together. The engine implements
-//!   [`actor_core::ModelSink`], so `fit_with_sink` or
-//!   `OnlineActor::attach_sink` can publish straight into it.
+//!   [`actor_core::ModelSink`] — both the full and the delta form — so
+//!   `fit_with_sink` or `OnlineActor::attach_sink` can publish straight
+//!   into it, and streaming updaters pay only for the rows they touched.
 //!
 //! ```no_run
 //! use serve::{QueryEngine, QueryRequest};
 //! # fn demo(model: actor_core::TrainedModel) {
-//! let engine = QueryEngine::with_defaults(model);
+//! let engine = QueryEngine::with_defaults(&model);
 //! let answer = engine
 //!     .query(&QueryRequest::keyword("beach", 10))
 //!     .unwrap();

@@ -1,16 +1,31 @@
-//! Immutable serving snapshots: a frozen model + per-modality ANN indexes.
+//! Immutable serving snapshots: frozen rows + per-modality ANN indexes.
 //!
 //! A [`Snapshot`] is everything one query needs, frozen at publish time:
-//! the [`TrainedModel`] (hotspot assignment, vocabulary, raw vectors for
-//! query construction), a unit-normalized copy of every center row
-//! ([`embed::NormalizedRows`]), and one index per node type so a
-//! modality-filtered top-k (`words` / `times` / `places`) never scans the
-//! other modalities. Small modalities keep the exact linear scan — below
-//! [`IndexParams::ann_threshold`] elements a scan beats an HNSW walk and
-//! is exact for free; large modalities get an HNSW graph.
+//! the shared [`ModelArtifacts`] (hotspot assignment, vocabulary — one
+//! `Arc`, never copied), a raw copy of every center row (query vectors are
+//! built from *raw* embeddings, §6.2.1), a unit-normalized copy of the
+//! same rows ([`embed::NormalizedRows`]) for ranking, and one index per
+//! node type so a modality-filtered top-k (`words` / `times` / `places`)
+//! never scans the other modalities. Small modalities keep the exact
+//! linear scan — below [`IndexParams::ann_threshold`] elements a scan
+//! beats an HNSW walk and is exact for free; large modalities get an HNSW
+//! graph.
+//!
+//! Snapshots come in two flavors: [`Snapshot::build`] freezes a model from
+//! scratch, and [`Snapshot::apply_delta`] re-freezes only the rows a
+//! [`StoreDelta`] says changed since the previous snapshot — clean rows
+//! (raw and normalized) are carried over bit-identically and dirty nodes
+//! are re-inserted into the previous HNSW graphs in place, which is what
+//! makes a streaming publish cost proportional to the drift, not the
+//! model.
 
-use actor_core::TrainedModel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use actor_core::{ModelArtifacts, StoreDelta, TrainedModel};
+use embed::math::mean_of;
 use embed::NormalizedRows;
+use mobility::KeywordId;
 use stgraph::{NodeId, NodeType};
 
 use crate::hnsw::{exact_top_k, HnswIndex, HnswParams, SearchScratch, VectorSource};
@@ -23,6 +38,11 @@ pub struct IndexParams {
     /// that size). Set to 0 to force ANN everywhere (conformance tests),
     /// `usize::MAX` to force exact everywhere (reference behavior).
     pub ann_threshold: usize,
+    /// Ceiling on the per-modality dirty fraction a delta apply will
+    /// patch incrementally; above it the modality's HNSW graph is rebuilt
+    /// from scratch instead (rebuilding is cheaper than re-inserting most
+    /// of the elements, and yields a fresher graph).
+    pub rebuild_fraction: f64,
     /// HNSW construction/search parameters for indexed modalities.
     pub hnsw: HnswParams,
 }
@@ -31,6 +51,7 @@ impl Default for IndexParams {
     fn default() -> Self {
         Self {
             ann_threshold: 2048,
+            rebuild_fraction: 0.3,
             hnsw: HnswParams::default(),
         }
     }
@@ -53,10 +74,11 @@ impl VectorSource for ModalView<'_> {
 }
 
 /// Per-modality retrieval structure.
+#[derive(Clone)]
 enum ModalIndex {
     /// Exact linear scan (small or forced-exact modalities).
     Exact,
-    /// HNSW graph (built once at snapshot construction).
+    /// HNSW graph (built at snapshot construction, patched by deltas).
     Ann(HnswIndex),
 }
 
@@ -64,19 +86,36 @@ enum ModalIndex {
 /// every query thread. Building one is the *only* expensive step of a
 /// publish and happens off the query path.
 pub struct Snapshot {
-    model: TrainedModel,
+    artifacts: Arc<ModelArtifacts>,
     epoch: u64,
+    dim: usize,
+    /// Frozen raw center rows (row-major, global node order) — the source
+    /// for query-vector construction.
+    raw: Vec<f32>,
+    /// Unit-normalized copies of the same rows — the source for ranking.
     norms: NormalizedRows,
     indexes: [ModalIndex; 4],
 }
 
 impl Snapshot {
     /// Freezes `model` under `params`, tagging it with `epoch` (the engine
-    /// assigns monotonically increasing epochs at publish time).
-    pub fn build(model: TrainedModel, params: &IndexParams, epoch: u64) -> Self {
+    /// assigns monotonically increasing epochs at publish time). The model
+    /// is borrowed: only its center rows are copied, and the artifacts are
+    /// shared through their `Arc`.
+    pub fn build(model: &TrainedModel, params: &IndexParams, epoch: u64) -> Self {
         let _span = obs::span!("serve.snapshot.build");
-        let norms = NormalizedRows::from_matrix(&model.store().centers);
-        let space = *model.space();
+        let store = model.store();
+        let (n, dim) = (store.n_nodes(), store.dim());
+        // Copy raw rows first, then normalize from the frozen copy, so the
+        // two views agree row-for-row even if a hogwild trainer is still
+        // writing to the live store.
+        let mut raw = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            raw.extend_from_slice(store.centers.row(i));
+        }
+        let norms = NormalizedRows::from_flat(&raw, dim);
+        let artifacts = Arc::clone(model.artifacts());
+        let space = *artifacts.space();
         let indexes = NodeType::ALL.map(|ty| {
             let count = space.count(ty) as usize;
             if count == 0 || count < params.ann_threshold {
@@ -92,16 +131,99 @@ impl Snapshot {
         });
         obs::counter("serve.snapshot.built").incr();
         Self {
-            model,
+            artifacts,
             epoch,
+            dim,
+            raw,
             norms,
             indexes,
         }
     }
 
-    /// The frozen model (hotspot assignment, vocabulary, raw vectors).
-    pub fn model(&self) -> &TrainedModel {
-        &self.model
+    /// The incremental publish path: produces the next snapshot from
+    /// `prev` by re-freezing only the center rows `delta` marks dirty.
+    /// Clean rows — raw and normalized — are carried over bit-identically,
+    /// and each dirty node is re-inserted into the previous HNSW graph
+    /// ([`HnswIndex::update_row`]); a modality whose dirty fraction
+    /// exceeds [`IndexParams::rebuild_fraction`] is rebuilt from scratch
+    /// instead.
+    ///
+    /// Falls back to a full [`Snapshot::build`] when the model does not
+    /// descend from `prev` — different artifact `Arc` (a new training
+    /// run) or a different store shape. Context rows in the delta are
+    /// ignored: serving reads center rows only.
+    pub fn apply_delta(
+        prev: &Snapshot,
+        model: &TrainedModel,
+        delta: &StoreDelta,
+        params: &IndexParams,
+        epoch: u64,
+    ) -> Self {
+        let store = model.store();
+        if !Arc::ptr_eq(&prev.artifacts, model.artifacts())
+            || store.dim() != prev.dim
+            || store.n_nodes() * store.dim() != prev.raw.len()
+        {
+            return Self::build(model, params, epoch);
+        }
+        let started = Instant::now();
+        let _span = obs::span!("serve.snapshot.apply");
+        let dim = prev.dim;
+        let mut raw = prev.raw.clone();
+        for &r in &delta.centers {
+            let i = r as usize;
+            raw[i * dim..(i + 1) * dim].copy_from_slice(store.centers.row(i));
+        }
+        let mut norms = prev.norms.clone();
+        norms.refresh_rows_from_flat(&raw, &delta.centers);
+
+        let space = *prev.artifacts.space();
+        let mut scratch = SearchScratch::new();
+        let indexes = NodeType::ALL.map(|ty| {
+            let offset = space.offset(ty) as usize;
+            let count = space.count(ty) as usize;
+            match &prev.indexes[modality_slot(ty)] {
+                ModalIndex::Exact => ModalIndex::Exact,
+                ModalIndex::Ann(index) => {
+                    let dirty: Vec<u32> = delta
+                        .centers
+                        .iter()
+                        .map(|&r| r as usize)
+                        .filter(|&r| r >= offset && r < offset + count)
+                        .map(|r| (r - offset) as u32)
+                        .collect();
+                    let view = ModalView {
+                        norms: &norms,
+                        offset,
+                        count,
+                    };
+                    if dirty.len() as f64 > params.rebuild_fraction * count as f64 {
+                        ModalIndex::Ann(HnswIndex::build(&view, params.hnsw))
+                    } else {
+                        let mut index = index.clone();
+                        for &id in &dirty {
+                            index.update_row(&view, id, &mut scratch);
+                        }
+                        ModalIndex::Ann(index)
+                    }
+                }
+            }
+        });
+        obs::counter("serve.snapshot.applied").incr();
+        obs::histogram("serve.snapshot.apply_ms").record(started.elapsed().as_millis() as u64);
+        Self {
+            artifacts: Arc::clone(&prev.artifacts),
+            epoch,
+            dim,
+            raw,
+            norms,
+            indexes,
+        }
+    }
+
+    /// The shared immutable artifacts (node layout, hotspots, vocabulary).
+    pub fn artifacts(&self) -> &Arc<ModelArtifacts> {
+        &self.artifacts
     }
 
     /// The publish epoch this snapshot carries.
@@ -109,9 +231,36 @@ impl Snapshot {
         self.epoch
     }
 
+    /// Row width of the frozen embeddings.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// The unit-normalized center rows (global node ids).
     pub fn normalized(&self) -> &NormalizedRows {
         &self.norms
+    }
+
+    /// The frozen raw center vector of a graph vertex.
+    pub fn vector(&self, node: NodeId) -> &[f32] {
+        let i = node.idx();
+        &self.raw[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mean raw center vector of a bag of keywords (mirrors
+    /// [`TrainedModel::text_vector`] over the frozen rows).
+    pub fn text_vector(&self, words: &[KeywordId]) -> Vec<f32> {
+        let rows: Vec<&[f32]> = words
+            .iter()
+            .map(|w| self.vector(self.artifacts.word_node(*w)))
+            .collect();
+        mean_of(&rows, self.dim)
+    }
+
+    /// Mean of the given vectors: the §6.2.1 query representation when
+    /// several modalities are observed.
+    pub fn query_vector(&self, parts: &[&[f32]]) -> Vec<f32> {
+        mean_of(parts, self.dim)
     }
 
     /// Whether `ty` is served by the ANN index (false = exact scan).
@@ -120,7 +269,7 @@ impl Snapshot {
     }
 
     fn view(&self, ty: NodeType) -> ModalView<'_> {
-        let space = self.model.space();
+        let space = self.artifacts.space();
         ModalView {
             norms: &self.norms,
             offset: space.offset(ty) as usize,
@@ -168,7 +317,7 @@ impl Snapshot {
     }
 
     fn globalize(&self, ty: NodeType, local: Vec<(u32, f64)>) -> Vec<(NodeId, f64)> {
-        let off = self.model.space().offset(ty);
+        let off = self.artifacts.space().offset(ty);
         local
             .into_iter()
             .map(|(i, sim)| (NodeId(off + i), sim))
@@ -178,12 +327,7 @@ impl Snapshot {
 
 /// Array slot of a node type (mirrors `NodeType::ALL` order).
 fn modality_slot(ty: NodeType) -> usize {
-    match ty {
-        NodeType::Time => 0,
-        NodeType::Location => 1,
-        NodeType::Word => 2,
-        NodeType::User => 3,
-    }
+    ty.index()
 }
 
 #[cfg(test)]
@@ -205,7 +349,7 @@ mod tests {
     #[test]
     fn exact_top_k_matches_model_nearest_of_type() {
         let m = model();
-        let snap = Snapshot::build(m.clone(), &IndexParams::default(), 1);
+        let snap = Snapshot::build(&m, &IndexParams::default(), 1);
         let mut scratch = SearchScratch::new();
         let raw = m.vector(m.space().node(NodeType::Word, 3)).to_vec();
         let mut unit = vec![0.0f32; raw.len()];
@@ -225,13 +369,13 @@ mod tests {
     }
 
     #[test]
-    fn forced_ann_still_finds_the_query_node_itself(){
+    fn forced_ann_still_finds_the_query_node_itself() {
         let m = model();
         let forced = IndexParams {
             ann_threshold: 0,
             ..IndexParams::default()
         };
-        let snap = Snapshot::build(m.clone(), &forced, 2);
+        let snap = Snapshot::build(&m, &forced, 2);
         assert!(snap.is_ann(NodeType::Word));
         let mut scratch = SearchScratch::new();
         let node = m.space().node(NodeType::Word, 7);
@@ -245,20 +389,61 @@ mod tests {
 
     #[test]
     fn snapshot_is_frozen_against_later_model_mutation() {
-        let m = model();
-        let snap = Snapshot::build(m.clone(), &IndexParams::default(), 3);
+        let mut m = model();
+        let snap = Snapshot::build(&m, &IndexParams::default(), 3);
         let mut scratch = SearchScratch::new();
-        let raw = m.vector(m.space().node(NodeType::Word, 0)).to_vec();
+        let node = m.space().node(NodeType::Word, 0);
+        let raw = m.vector(node).to_vec();
         let mut unit = vec![0.0f32; raw.len()];
         normalize_into(&raw, &mut unit);
         let before = snap.top_k(NodeType::Word, &unit, 5, None, &mut scratch);
-        // `build` cloned the model; mutating the original must not leak in.
-        drop(m);
+        // `build` copied the rows; mutating the original must not leak in.
+        m.store_mut().centers.row_mut(node.idx()).fill(7.0);
         let after = snap.top_k(NodeType::Word, &unit, 5, None, &mut scratch);
         assert_eq!(
             before.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
             after.iter().map(|(n, _)| *n).collect::<Vec<_>>()
         );
         assert_eq!(snap.epoch(), 3);
+        assert!(Arc::ptr_eq(snap.artifacts(), m.artifacts()));
+    }
+
+    #[test]
+    fn apply_delta_refreshes_dirty_rows_and_keeps_clean_rows_bit_identical() {
+        let mut m = model();
+        let snap = Snapshot::build(&m, &IndexParams::default(), 1);
+        let sync = m.store().close_generation();
+        let node = m.space().node(NodeType::Word, 2);
+        m.store_mut().centers.row_mut(node.idx()).fill(0.25);
+        let delta = m.store().drain_dirty(sync);
+        assert_eq!(delta.centers, vec![node.idx() as u32]);
+
+        let next = Snapshot::apply_delta(&snap, &m, &delta, &IndexParams::default(), 2);
+        assert_eq!(next.epoch(), 2);
+        // The dirty row tracks the live store...
+        assert_eq!(next.vector(node), m.vector(node));
+        assert_ne!(snap.vector(node), next.vector(node));
+        // ...and every clean row is bit-identical to the previous snapshot,
+        // raw and normalized.
+        for i in 0..m.space().len() {
+            if i == node.idx() {
+                continue;
+            }
+            assert_eq!(snap.vector(NodeId(i as u32)), next.vector(NodeId(i as u32)));
+            assert_eq!(snap.normalized().row(i), next.normalized().row(i));
+        }
+    }
+
+    #[test]
+    fn apply_delta_falls_back_to_full_build_for_foreign_models() {
+        let m = model();
+        let snap = Snapshot::build(&m, &IndexParams::default(), 1);
+        // A second fit: same corpus shape, different artifact Arc.
+        let other = model();
+        assert!(!Arc::ptr_eq(m.artifacts(), other.artifacts()));
+        let delta = other.store().drain_dirty(0);
+        let next = Snapshot::apply_delta(&snap, &other, &delta, &IndexParams::default(), 2);
+        assert!(Arc::ptr_eq(next.artifacts(), other.artifacts()));
+        assert_eq!(next.vector(NodeId(0)), other.vector(NodeId(0)));
     }
 }

@@ -116,25 +116,23 @@ mod tests {
     use mobility::synth::{generate, DatasetPreset};
     use mobility::{CorpusSplit, SplitSpec};
 
-    fn snapshot(epoch: u64) -> Arc<Snapshot> {
+    fn fitted_model() -> actor_core::TrainedModel {
         let (corpus, _) = generate(DatasetPreset::Foursquare.small_config(41)).unwrap();
         let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
-        let (model, _) = actor_core::fit(&corpus, &split.train, &ActorConfig::fast()).unwrap();
-        Arc::new(Snapshot::build(model, &IndexParams::default(), epoch))
+        actor_core::fit(&corpus, &split.train, &ActorConfig::fast())
+            .unwrap()
+            .0
     }
 
     #[test]
     fn load_returns_the_published_snapshot() {
-        let a = snapshot(1);
+        let model = fitted_model();
+        let a = Arc::new(Snapshot::build(&model, &IndexParams::default(), 1));
         let cell = SnapshotCell::new(a.clone());
         assert!(Arc::ptr_eq(&cell.load(), &a));
         assert_eq!(cell.epoch(), 1);
 
-        let b = Arc::new(Snapshot::build(
-            a.model().clone(),
-            &IndexParams::default(),
-            2,
-        ));
+        let b = Arc::new(Snapshot::build(&model, &IndexParams::default(), 2));
         cell.store(b.clone());
         assert!(Arc::ptr_eq(&cell.load(), &b));
         assert_eq!(cell.epoch(), 2);
@@ -142,8 +140,9 @@ mod tests {
 
     #[test]
     fn concurrent_readers_always_see_a_whole_snapshot() {
-        let base = snapshot(1);
-        let cell = Arc::new(SnapshotCell::new(base.clone()));
+        let model = fitted_model();
+        let base = Arc::new(Snapshot::build(&model, &IndexParams::default(), 1));
+        let cell = Arc::new(SnapshotCell::new(base));
         let stop = Arc::new(AtomicU64::new(0));
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -162,11 +161,10 @@ mod tests {
             }
             let publisher = {
                 let cell = cell.clone();
-                let model = base.model().clone();
+                let model = &model;
                 s.spawn(move || {
                     for epoch in 2..40 {
-                        let snap =
-                            Snapshot::build(model.clone(), &IndexParams::default(), epoch);
+                        let snap = Snapshot::build(model, &IndexParams::default(), epoch);
                         cell.store(Arc::new(snap));
                     }
                 })

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mobility::GeoPoint;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use serve::hnsw::SearchScratch;
 use serve::snapshot::{IndexParams, Snapshot};
 use serve::testkit::{probe_near, synthetic_model};
@@ -19,17 +19,17 @@ use stgraph::NodeType;
 fn ann_recall_at_10_meets_bar_per_modality() {
     let n = 4096;
     let model = synthetic_model(n, 32, 11);
-    let snap = Snapshot::build(model, &IndexParams::default(), 1);
+    let snap = Snapshot::build(&model, &IndexParams::default(), 1);
     let mut scratch = SearchScratch::new();
     let mut rng = StdRng::seed_from_u64(12);
 
     for ty in [NodeType::Word, NodeType::Time, NodeType::Location] {
         assert!(snap.is_ann(ty), "{ty:?} should be ANN-indexed at n={n}");
-        let offset = snap.model().space().offset(ty) as usize;
+        let offset = snap.artifacts().space().offset(ty) as usize;
         let mut hit = 0usize;
         let mut total = 0usize;
         for probe in (0..n).step_by(97) {
-            let raw = probe_near(snap.model(), offset + probe, 0.05, &mut rng);
+            let raw = probe_near(&model, offset + probe, 0.05, &mut rng);
             let mut unit = vec![0.0f32; raw.len()];
             embed::math::normalize_into(&raw, &mut unit);
             let ann: Vec<_> = snap
@@ -51,10 +51,10 @@ fn ann_recall_at_10_meets_bar_per_modality() {
 #[test]
 fn ann_scores_equal_exact_scores_for_shared_neighbors() {
     let model = synthetic_model(4096, 16, 13);
-    let snap = Snapshot::build(model, &IndexParams::default(), 1);
+    let snap = Snapshot::build(&model, &IndexParams::default(), 1);
     let mut scratch = SearchScratch::new();
     let mut rng = StdRng::seed_from_u64(14);
-    let raw = probe_near(snap.model(), 100, 0.05, &mut rng);
+    let raw = probe_near(&model, 100, 0.05, &mut rng);
     let mut unit = vec![0.0f32; raw.len()];
     embed::math::normalize_into(&raw, &mut unit);
     let ann = snap.top_k(NodeType::Word, &unit, 10, None, &mut scratch);
@@ -71,7 +71,7 @@ fn ann_scores_equal_exact_scores_for_shared_neighbors() {
 #[test]
 fn hot_swap_under_concurrent_queries_never_fails() {
     let model = synthetic_model(256, 16, 15);
-    let engine = Arc::new(QueryEngine::new(model.clone(), EngineParams::default()));
+    let engine = Arc::new(QueryEngine::new(&model, EngineParams::default()));
     let stop = Arc::new(AtomicBool::new(false));
     let publishes = 12u64;
 
@@ -108,7 +108,7 @@ fn hot_swap_under_concurrent_queries_never_fails() {
             }));
         }
         for _ in 0..publishes {
-            engine.publish(model.clone());
+            engine.publish(&model);
         }
         stop.store(true, Ordering::Relaxed);
         let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
@@ -121,13 +121,122 @@ fn hot_swap_under_concurrent_queries_never_fails() {
     assert_eq!(stats.cache_hits + stats.cache_misses, stats.queries);
 }
 
+/// Applies `rounds` batches of randomized streaming row updates to
+/// `model`, publishing each batch through [`Snapshot::apply_delta`] on
+/// top of `snap`. Returns the delta-chained snapshot.
+fn stream_and_apply(
+    model: &mut actor_core::TrainedModel,
+    mut snap: Snapshot,
+    params: &IndexParams,
+    rounds: u64,
+    per_round: usize,
+    rng: &mut StdRng,
+) -> Snapshot {
+    let n = model.space().len();
+    for round in 0..rounds {
+        let sync = model.store().close_generation();
+        for _ in 0..per_round {
+            let i = rng.random_range(0..n);
+            let drifted: Vec<f32> = model
+                .store()
+                .centers
+                .row(i)
+                .iter()
+                .map(|&x| x + rng.random_range(-0.3f32..0.3))
+                .collect();
+            model.store_mut().centers.set_row(i, &drifted);
+        }
+        let delta = model.store().drain_dirty(sync);
+        snap = Snapshot::apply_delta(&snap, model, &delta, params, snap.epoch() + 1 + round);
+    }
+    snap
+}
+
+/// The tentpole conformance bar: after randomized streaming updates
+/// published as a chain of deltas, the delta-applied snapshot must answer
+/// *identically* to a snapshot built from scratch off the final model —
+/// same ids, scores within 1e-6 — in exact-scan mode, where both paths
+/// are deterministic.
+#[test]
+fn delta_applied_snapshot_answers_identically_to_from_scratch_build() {
+    let exact = IndexParams {
+        ann_threshold: usize::MAX,
+        ..IndexParams::default()
+    };
+    let mut model = synthetic_model(1024, 16, 17);
+    let mut rng = StdRng::seed_from_u64(18);
+    let base = Snapshot::build(&model, &exact, 1);
+    let chained = stream_and_apply(&mut model, base, &exact, 5, 40, &mut rng);
+    let fresh = Snapshot::build(&model, &exact, 100);
+
+    let mut scratch = SearchScratch::new();
+    for ty in [NodeType::Word, NodeType::Time, NodeType::Location] {
+        let offset = fresh.artifacts().space().offset(ty) as usize;
+        for probe in (0..1024).step_by(41) {
+            let raw = probe_near(&model, offset + probe, 0.05, &mut rng);
+            let mut unit = vec![0.0f32; raw.len()];
+            embed::math::normalize_into(&raw, &mut unit);
+            let a = chained.top_k(ty, &unit, 10, None, &mut scratch);
+            let b = fresh.top_k(ty, &unit, 10, None, &mut scratch);
+            assert_eq!(
+                a.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                b.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                "{ty:?} probe {probe}: ids diverged"
+            );
+            for ((_, sa), (_, sb)) in a.iter().zip(&b) {
+                assert!((sa - sb).abs() <= 1e-6, "{ty:?}: {sa} vs {sb}");
+            }
+        }
+    }
+}
+
+/// The same streaming-delta chain with ANN forced on: incrementally
+/// patched HNSW graphs legitimately differ from a fresh build, so the bar
+/// is behavioral — every drifted node remains its own top-1 and recall
+/// against the exact scan stays high.
+#[test]
+fn delta_patched_ann_index_stays_accurate() {
+    let forced = IndexParams {
+        ann_threshold: 0,
+        ..IndexParams::default()
+    };
+    let mut model = synthetic_model(1024, 16, 19);
+    let mut rng = StdRng::seed_from_u64(20);
+    let base = Snapshot::build(&model, &forced, 1);
+    let chained = stream_and_apply(&mut model, base, &forced, 5, 40, &mut rng);
+
+    let mut scratch = SearchScratch::new();
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for ty in [NodeType::Word, NodeType::Time, NodeType::Location] {
+        assert!(chained.is_ann(ty));
+        let offset = chained.artifacts().space().offset(ty) as usize;
+        for probe in (0..1024usize).step_by(53) {
+            let raw = probe_near(&model, offset + probe, 0.001, &mut rng);
+            let mut unit = vec![0.0f32; raw.len()];
+            embed::math::normalize_into(&raw, &mut unit);
+            let ann: Vec<_> = chained
+                .top_k(ty, &unit, 10, Some(200), &mut scratch)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            let exact = chained.top_k_exact(ty, &unit, 10, &mut scratch);
+            assert_eq!(ann[0], exact[0].0, "{ty:?} probe {probe}: lost itself");
+            total += exact.len();
+            hit += exact.iter().filter(|(id, _)| ann.contains(id)).count();
+        }
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(recall >= 0.9, "post-delta recall@10 = {recall:.3}");
+}
+
 /// The engine's ANN answers agree with a forced-exact twin engine on the
 /// top result (the two engines share one model and one scoring kernel).
 #[test]
 fn ann_engine_and_exact_engine_agree_on_top_results() {
     let model = synthetic_model(4096, 16, 16);
     let ann = QueryEngine::new(
-        model.clone(),
+        &model,
         EngineParams {
             index: IndexParams {
                 ann_threshold: 0,
@@ -137,7 +246,7 @@ fn ann_engine_and_exact_engine_agree_on_top_results() {
         },
     );
     let exact = QueryEngine::new(
-        model,
+        &model,
         EngineParams {
             index: IndexParams {
                 ann_threshold: usize::MAX,

@@ -42,6 +42,13 @@ impl EdgeType {
     /// The inter-record edge types `M_inter = {UT, UW, UL}` (Eq. 6).
     pub const INTER: [EdgeType; 3] = [EdgeType::UT, EdgeType::UW, EdgeType::UL];
 
+    /// Dense index in [`EdgeType::ALL`] order, for array-backed per-type
+    /// tables such as [`crate::EdgeTypeMap`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// The two endpoint types, in canonical storage order `(first, second)`.
     pub fn endpoints(self) -> (NodeType, NodeType) {
         match self {

@@ -22,6 +22,7 @@ pub mod graph;
 pub mod metagraph;
 pub mod node;
 pub mod sampler;
+pub mod typemap;
 pub mod usergraph;
 
 pub use alias::AliasTable;
@@ -31,4 +32,5 @@ pub use graph::ActivityGraph;
 pub use metagraph::{MetaGraph, UnitSet};
 pub use node::{NodeId, NodeSpace, NodeType};
 pub use sampler::{EdgeSampler, NegativeTable};
+pub use typemap::{EdgeTypeMap, NodeTypeMap};
 pub use usergraph::UserGraph;

@@ -30,6 +30,13 @@ impl NodeType {
         NodeType::User,
     ];
 
+    /// Dense index in [`NodeType::ALL`] order (`T`=0, `L`=1, `W`=2,
+    /// `U`=3), for array-backed per-type tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// One-letter label used in reports (`T`, `L`, `W`, `U`).
     pub fn label(self) -> &'static str {
         match self {

@@ -1,0 +1,164 @@
+//! Dense per-type tables keyed by [`EdgeType`] / [`NodeType`].
+//!
+//! The SGD hot loop looks up an edge sampler and a negative table for
+//! every single training step; hashing a two-variant key there is pure
+//! overhead when the key spaces are tiny and fixed. These maps store one
+//! `Option<T>` slot per enum variant ([`EdgeType::index`] /
+//! [`NodeType::index`]), so a lookup is an array index — no hashing, no
+//! probing, and the whole table of references fits in a cache line.
+
+use crate::edge::EdgeType;
+use crate::node::NodeType;
+
+/// A map from [`EdgeType`] to `T`, backed by a fixed 7-slot array.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeTypeMap<T> {
+    slots: [Option<T>; 7],
+}
+
+impl<T> EdgeTypeMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            slots: [None, None, None, None, None, None, None],
+        }
+    }
+
+    /// Inserts a value, returning the previous one if present.
+    pub fn insert(&mut self, ty: EdgeType, value: T) -> Option<T> {
+        self.slots[ty.index()].replace(value)
+    }
+
+    /// The value for `ty`, if present.
+    #[inline]
+    pub fn get(&self, ty: EdgeType) -> Option<&T> {
+        self.slots[ty.index()].as_ref()
+    }
+
+    /// Mutable access to the value for `ty`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, ty: EdgeType) -> Option<&mut T> {
+        self.slots[ty.index()].as_mut()
+    }
+
+    /// The value for `ty`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, ty: EdgeType, default: impl FnOnce() -> T) -> &mut T {
+        self.slots[ty.index()].get_or_insert_with(default)
+    }
+
+    /// Number of populated slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no slot is populated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Iterates populated `(EdgeType, &T)` entries in [`EdgeType::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeType, &T)> {
+        EdgeType::ALL
+            .into_iter()
+            .filter_map(|ty| self.get(ty).map(|v| (ty, v)))
+    }
+}
+
+/// A map from [`NodeType`] to `T`, backed by a fixed 4-slot array.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTypeMap<T> {
+    slots: [Option<T>; 4],
+}
+
+impl<T> NodeTypeMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            slots: [None, None, None, None],
+        }
+    }
+
+    /// Inserts a value, returning the previous one if present.
+    pub fn insert(&mut self, ty: NodeType, value: T) -> Option<T> {
+        self.slots[ty.index()].replace(value)
+    }
+
+    /// The value for `ty`, if present.
+    #[inline]
+    pub fn get(&self, ty: NodeType) -> Option<&T> {
+        self.slots[ty.index()].as_ref()
+    }
+
+    /// Mutable access to the value for `ty`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, ty: NodeType) -> Option<&mut T> {
+        self.slots[ty.index()].as_mut()
+    }
+
+    /// Number of populated slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no slot is populated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Iterates populated `(NodeType, &T)` entries in [`NodeType::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeType, &T)> {
+        NodeType::ALL
+            .into_iter()
+            .filter_map(|ty| self.get(ty).map(|v| (ty, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_match_all_order() {
+        for (i, ty) in EdgeType::ALL.into_iter().enumerate() {
+            assert_eq!(ty.index(), i);
+        }
+        for (i, ty) in NodeType::ALL.into_iter().enumerate() {
+            assert_eq!(ty.index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_map_insert_get_iter() {
+        let mut m = EdgeTypeMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(EdgeType::WW, 10), None);
+        assert_eq!(m.insert(EdgeType::TL, 20), None);
+        assert_eq!(m.insert(EdgeType::WW, 11), Some(10));
+        assert_eq!(m.get(EdgeType::WW), Some(&11));
+        assert_eq!(m.get(EdgeType::UT), None);
+        *m.get_mut(EdgeType::TL).unwrap() += 1;
+        assert_eq!(m.len(), 2);
+        // ALL order: TL before WW.
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(EdgeType::TL, &21), (EdgeType::WW, &11)]);
+    }
+
+    #[test]
+    fn node_map_get_or_insert_nests() {
+        let mut m: EdgeTypeMap<NodeTypeMap<u32>> = EdgeTypeMap::new();
+        m.get_or_insert_with(EdgeType::LW, NodeTypeMap::new)
+            .insert(NodeType::Word, 7);
+        m.get_or_insert_with(EdgeType::LW, NodeTypeMap::new)
+            .insert(NodeType::Location, 8);
+        let inner = m.get(EdgeType::LW).unwrap();
+        assert_eq!(inner.get(NodeType::Word), Some(&7));
+        assert_eq!(inner.get(NodeType::Location), Some(&8));
+        assert_eq!(inner.get(NodeType::Time), None);
+        assert_eq!(inner.len(), 2);
+        assert!(!inner.is_empty());
+        let entries: Vec<_> = inner.iter().collect();
+        assert_eq!(entries[0].0, NodeType::Location);
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
     // Models this small stay on the exact index; past
     // `EngineParams::default().index.ann_threshold` units a modality gets
     // an HNSW graph automatically.
-    let engine = Arc::new(QueryEngine::with_defaults(model));
+    let engine = Arc::new(QueryEngine::with_defaults(&model));
     println!("engine serving at epoch {}\n", engine.epoch());
 
     println!("the four query kinds:");
@@ -60,13 +60,11 @@ fn main() {
 
     // Streaming updates publish straight into the engine: the engine is a
     // ModelSink, so every `publish_every` observed records the online
-    // trainer hands it a fresh generation and the epoch ticks.
+    // trainer hands it a dirty-row delta and the epoch ticks — no full
+    // model copies in the steady state.
     println!("\nstreaming 600 records with the engine attached as a sink ...");
     let sink: Arc<dyn ModelSink> = engine.clone();
-    let mut online = OnlineActor::new(
-        engine.snapshot().model().clone(),
-        OnlineParams::default(),
-    );
+    let mut online = OnlineActor::new(model, OnlineParams::default());
     online.attach_sink(sink, 300);
     for &rid in split.test.iter().take(600) {
         online.observe(corpus.record(rid));

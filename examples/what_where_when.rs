@@ -63,7 +63,7 @@ fn main() {
     // engine: the observed modalities become one composite query, and the
     // engine returns the most aligned units of each missing modality.
     println!("\nthe engine's open-ended answers (no candidate list needed):");
-    let engine = QueryEngine::with_defaults(model.clone());
+    let engine = QueryEngine::with_defaults(&model);
     let observed: Vec<String> = words.iter().map(|w| w.to_string()).collect();
     let req = QueryRequest::composite(
         Some(gt.second_of_day()),

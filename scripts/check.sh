@@ -16,6 +16,9 @@ echo "== serving conformance + load smoke =="
 cargo test -q -p actor-serve --test conformance
 cargo run -q -p actor-bench --release --bin serve_load -- --smoke
 
+echo "== publish latency smoke (full rebuild vs delta apply) =="
+cargo run -q -p actor-bench --release --bin publish_latency -- --smoke
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
