@@ -3,13 +3,21 @@
 //!
 //! * (a) running time vs number of sampled edges (×1..×4): linear,
 //! * (b) strong scaling: fixed budget, threads 1..4: near-linear speedup,
-//! * (c) weak scaling: budget and threads grow together: flat time.
+//! * (c) weak scaling: budget and threads grow together: flat time,
+//! * (d) preprocessing threads 1..4: hotspot detection + graph build
+//!   (the data-parallel front-end; see `preprocess_scaling` for the
+//!   dedicated 100k-record study).
 //!
 //! Run: `cargo run -p actor-bench --bin fig12_scalability --release [-- --fast]`
+
+use std::time::Instant;
 
 use actor_core::ActorConfig;
 use benchkit::{dataset, Flags, ObsScope, ZooConfig};
 use evalkit::report::Table;
+use hotspot::{MeanShiftParams, SpatialHotspots, TemporalHotspots};
+use mobility::GeoPoint;
+use stgraph::{ActivityGraphBuilder, BuildOptions, UserGraph};
 
 /// Fits ACTOR and returns the SGD-loop seconds (hotspots/graphs excluded,
 /// matching the paper's "running time" which is the training loop).
@@ -106,5 +114,48 @@ fn main() {
         eprintln!("12c {threads} threads: {secs:.2}s");
     }
     println!("{}", tc.render());
-    println!("expected: roughly constant time (good weak scaling, paper §6.5)");
+    println!("expected: roughly constant time (good weak scaling, paper §6.5)\n");
+
+    // (d) preprocessing threads: the data-parallel front-end (hotspot
+    // detection + graph build) ahead of any SGD sample.
+    println!("--- Fig. 12d: preprocessing time vs threads (detect + build) ---");
+    let points: Vec<GeoPoint> = d
+        .split
+        .train
+        .iter()
+        .map(|&id| d.corpus.record(id).location)
+        .collect();
+    let seconds: Vec<f64> = d
+        .split
+        .train
+        .iter()
+        .map(|&id| d.corpus.record(id).second_of_day())
+        .collect();
+    let mut td = Table::new(["threads", "seconds", "speedup"]);
+    let mut p1 = 0.0;
+    for threads in 1..=4 {
+        let guard = par::override_threads(threads);
+        let t0 = Instant::now();
+        let spatial =
+            SpatialHotspots::detect(&points, MeanShiftParams::with_bandwidth(0.01), 3);
+        let temporal =
+            TemporalHotspots::detect(&seconds, MeanShiftParams::with_bandwidth(1800.0), 3);
+        let builder =
+            ActivityGraphBuilder::new(&d.corpus, &spatial, &temporal, BuildOptions::default());
+        let (graph, _) = builder.build(&d.split.train);
+        let _users = UserGraph::build(&d.corpus, &d.split.train);
+        let secs = t0.elapsed().as_secs_f64();
+        drop(guard);
+        if threads == 1 {
+            p1 = secs;
+        }
+        td.row([
+            threads.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.2}", p1 / secs.max(1e-9)),
+        ]);
+        eprintln!("12d {threads} threads: {secs:.2}s ({} edges)", graph.n_edges());
+    }
+    println!("{}", td.render());
+    println!("expected: near-linear speedup with identical outputs (determinism suite)");
 }

@@ -244,22 +244,36 @@ pub(crate) fn prepare(corpus: &Corpus, train_ids: &[RecordId], config: &ActorCon
     }
     pretrain_span.finish();
 
-    // Samplers for lines 5–11, in dense per-type tables.
+    // Samplers for lines 5–11, in dense per-type tables. The per-type
+    // alias and negative tables are independent of one another, so the
+    // seven types build in parallel; results come back in `ALL` order and
+    // are inserted serially, matching the single-threaded layout exactly.
+    let sampler_span = obs::span!("core.fit.samplers");
+    let built = par::par_map(&EdgeType::ALL, |_, &ty| {
+        let sampler = EdgeSampler::new(&graph, ty);
+        let (a, b) = ty.endpoints();
+        let negs: Vec<(NodeType, NegativeTable)> = [a, b]
+            .into_iter()
+            .filter_map(|side| {
+                NegativeTable::with_power(&graph, ty, side, config.negative_power)
+                    .map(|t| (side, t))
+            })
+            .collect();
+        (sampler, negs)
+    });
     let mut edge_samplers: EdgeTypeMap<EdgeSampler> = EdgeTypeMap::new();
     let mut neg_tables: EdgeTypeMap<NodeTypeMap<NegativeTable>> = EdgeTypeMap::new();
-    for ty in EdgeType::ALL {
-        if let Some(s) = EdgeSampler::new(&graph, ty) {
+    for (ty, (sampler, negs)) in EdgeType::ALL.into_iter().zip(built) {
+        if let Some(s) = sampler {
             edge_samplers.insert(ty, s);
         }
-        let (a, b) = ty.endpoints();
-        for side in [a, b] {
-            if let Some(t) = NegativeTable::with_power(&graph, ty, side, config.negative_power) {
-                neg_tables
-                    .get_or_insert_with(ty, NodeTypeMap::new)
-                    .insert(side, t);
-            }
+        for (side, t) in negs {
+            neg_tables
+                .get_or_insert_with(ty, NodeTypeMap::new)
+                .insert(side, t);
         }
     }
+    sampler_span.finish();
 
     let artifacts = Arc::new(ModelArtifacts::new(
         space,

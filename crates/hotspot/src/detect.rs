@@ -64,10 +64,7 @@ impl SpatialHotspots {
         // Assign every point to its nearest mode and keep well-supported
         // modes only.
         let mode_index = Grid2D::build(&centers, params.bandwidth.max(1e-9));
-        let mut counts = vec![0usize; centers.len()];
-        for p in points {
-            counts[mode_index.nearest(*p) as usize] += 1;
-        }
+        let counts = nearest_counts(&mode_index, points, centers.len());
         let keep: Vec<usize> = (0..centers.len())
             .filter(|&i| counts[i] >= min_support)
             .collect();
@@ -78,10 +75,7 @@ impl SpatialHotspots {
         centers = keep.iter().map(|&i| centers[i]).collect();
 
         let index = Grid2D::build(&centers, params.bandwidth.max(1e-9));
-        let mut final_counts = vec![0usize; centers.len()];
-        for p in points {
-            final_counts[index.nearest(*p) as usize] += 1;
-        }
+        let final_counts = nearest_counts(&index, points, centers.len());
         Self {
             centers,
             counts: final_counts,
@@ -289,21 +283,44 @@ impl TemporalHotspots {
     }
 }
 
-fn assign_counts(centers: &[f64], values: &[f64], circle: Circular1D) -> Vec<usize> {
-    let mut counts = vec![0usize; centers.len()];
-    for &v in values {
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (i, &c) in centers.iter().enumerate() {
-            let d = circle.dist(v, c);
-            if d < best_d {
-                best_d = d;
-                best = i;
+/// Per-hotspot assignment counts of `points` against the center grid,
+/// sharded over points and merged by element-wise addition — integer
+/// counts, so the parallel total is identical to the serial loop.
+fn nearest_counts(index: &Grid2D, points: &[GeoPoint], n_centers: usize) -> Vec<usize> {
+    par::par_accumulate(
+        points,
+        || vec![0usize; n_centers],
+        |acc, _, p| acc[index.nearest(*p) as usize] += 1,
+        |total, acc| {
+            for (t, a) in total.iter_mut().zip(acc) {
+                *t += a;
             }
-        }
-        counts[best] += 1;
-    }
-    counts
+        },
+    )
+}
+
+fn assign_counts(centers: &[f64], values: &[f64], circle: Circular1D) -> Vec<usize> {
+    par::par_accumulate(
+        values,
+        || vec![0usize; centers.len()],
+        |acc, _, &v| {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, &c) in centers.iter().enumerate() {
+                let d = circle.dist(v, c);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            acc[best] += 1;
+        },
+        |total, acc| {
+            for (t, a) in total.iter_mut().zip(acc) {
+                *t += a;
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -196,6 +196,75 @@ mod tests {
     }
 
     #[test]
+    fn pruned_spatial_density_matches_naive_full_scan() {
+        // The grid prunes candidates to cells within the kernel support
+        // radius (Epanechnikov has compact support: points beyond `h`
+        // contribute exactly zero), so the pruned sum must equal the naive
+        // all-points sum to floating-point noise.
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<GeoPoint> = (0..800)
+            .map(|_| GeoPoint::new(normal(&mut rng, 0.0, 0.3), normal(&mut rng, 0.5, 0.4)))
+            .collect();
+        for kernel in [Kernel::Epanechnikov, Kernel::Gaussian] {
+            let h = 0.12;
+            let kde = SpatialKde::new(&pts, kernel, h);
+            // Epanechnikov is exactly zero past `h`, so the pruned sum must
+            // match an untruncated full scan; the Gaussian is compared
+            // against a scan truncated at the same support radius it is
+            // documented to use.
+            let cutoff = kernel.support_radius();
+            let naive = |x: GeoPoint| {
+                let sum: f64 = pts
+                    .iter()
+                    .map(|p| x.dist(p) / h)
+                    .filter(|&u| kernel == Kernel::Epanechnikov || u <= cutoff)
+                    .map(|u| kernel.value(u))
+                    .sum();
+                sum / (pts.len() as f64 * h * h)
+            };
+            for q in [
+                GeoPoint::new(0.0, 0.5),
+                GeoPoint::new(0.3, 0.1),
+                GeoPoint::new(-0.4, 0.9),
+                GeoPoint::new(2.0, 2.0),
+            ] {
+                let pruned = kde.density(q);
+                let full = naive(q);
+                assert!(
+                    (pruned - full).abs() <= 1e-12 * full.max(1.0),
+                    "{kernel:?} at {q:?}: pruned {pruned} vs naive {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_circular_density_matches_naive_full_scan() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let vals: Vec<f64> = (0..600)
+            .map(|_| normal(&mut rng, 23.5, 1.0).rem_euclid(24.0))
+            .collect();
+        let h = 0.7;
+        let kde = CircularKde::new(&vals, 24.0, Kernel::Epanechnikov, h);
+        let circle = Circular1D::new(24.0);
+        let naive = |x: f64| {
+            let sum: f64 = vals
+                .iter()
+                .map(|&v| Kernel::Epanechnikov.value(circle.dist(x, v) / h))
+                .sum();
+            sum / (vals.len() as f64 * h)
+        };
+        for q in [23.5, 0.2, 23.9, 12.0, 6.5] {
+            let pruned = kde.density(q);
+            let full = naive(q);
+            assert!(
+                (pruned - full).abs() <= 1e-12 * full.max(1.0),
+                "at {q}: pruned {pruned} vs naive {full}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn circular_rejects_oversized_bandwidth() {
         CircularKde::new(&[1.0], 24.0, Kernel::Gaussian, 5.0); // 5*3 > 12

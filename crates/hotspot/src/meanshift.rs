@@ -131,32 +131,44 @@ impl<S: Space> MeanShift<S> {
 
     /// Runs mean-shift from (a stride of) `seeds` and merges converged
     /// points into modes, ordered by descending seed support.
+    ///
+    /// The seeking pass is data-parallel over seeds ([`par::threads`]
+    /// workers): each seed's trajectory depends only on the data behind
+    /// `neighbors`, never on other seeds, and every seed early-exits the
+    /// moment its own shift falls below tolerance instead of marching in
+    /// lockstep to `max_iters`. The merge then runs serially in seed order
+    /// on the calling thread, so the returned modes are bit-identical to a
+    /// single-threaded run for any thread count.
     pub fn run<F>(&self, seeds: &[S::Point], neighbors: F) -> Vec<Mode<S::Point>>
     where
-        F: Fn(S::Point, &mut Vec<S::Point>),
+        F: Fn(S::Point, &mut Vec<S::Point>) + Sync,
+        S: Sync,
+        S::Point: Send + Sync,
     {
+        let _span = obs::span!("hotspot.meanshift");
         let iterations = obs::histogram("hotspot.meanshift.iterations");
         let seeds_run = obs::counter("hotspot.meanshift.seeds");
         let merged = obs::counter("hotspot.meanshift.modes_merged");
+        let iters_saved = obs::counter("hotspot.meanshift.iters_saved");
 
         let stride = (seeds.len() / self.params.max_seeds.max(1)).max(1);
+        let strided: Vec<S::Point> = seeds.iter().step_by(stride).copied().collect();
+        let converged = par::par_map(&strided, |_, &seed| self.seek_mode_iters(seed, &neighbors));
+
         let mut modes: Vec<Mode<S::Point>> = Vec::new();
-        for seed in seeds.iter().step_by(stride) {
-            let (converged, iters) = self.seek_mode_iters(*seed, &neighbors);
+        for &(point, iters) in &converged {
             iterations.record(iters);
+            iters_saved.add(self.params.max_iters as u64 - iters);
             seeds_run.incr();
             match modes
                 .iter_mut()
-                .find(|m| self.space.dist(m.point, converged) <= self.params.merge_radius)
+                .find(|m| self.space.dist(m.point, point) <= self.params.merge_radius)
             {
                 Some(m) => {
                     m.seeds += 1;
                     merged.incr();
                 }
-                None => modes.push(Mode {
-                    point: converged,
-                    seeds: 1,
-                }),
+                None => modes.push(Mode { point, seeds: 1 }),
             }
         }
         obs::counter("hotspot.meanshift.modes").add(modes.len() as u64);

@@ -81,6 +81,17 @@ impl AliasTable {
         self.prob.is_empty()
     }
 
+    /// The residual probability column, exposed so determinism checks can
+    /// compare tables bit for bit.
+    pub fn probs(&self) -> &[f64] {
+        &self.prob
+    }
+
+    /// The alias column (see [`AliasTable::probs`]).
+    pub fn aliases(&self) -> &[u32] {
+        &self.alias
+    }
+
     /// Draws an outcome in O(1).
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {

@@ -91,83 +91,152 @@ impl<'a> ActivityGraphBuilder<'a> {
 
     /// Builds the graph over `record_ids` (normally the training split) and
     /// returns it with the per-record unit assignments.
+    ///
+    /// Counting is sharded over records ([`par::threads`] workers, each
+    /// filling private per-edge-type count maps) and merged in shard order
+    /// on the calling thread. Co-occurrence weights are integer-valued, so
+    /// the per-key sums are exact and the merged maps — and therefore the
+    /// sorted edge lists, CSR layout, and unit table — are bit-identical
+    /// to a single-threaded build for any thread count.
     pub fn build(&self, record_ids: &[RecordId]) -> (ActivityGraph, Vec<RecordUnits>) {
         let _span = obs::span!("stgraph.build");
-        let records_seen = obs::counter("stgraph.records");
-        let intra_instances = obs::counter("stgraph.metagraph.intra");
-        let inter_instances = obs::counter("stgraph.metagraph.inter");
 
         let space = self.node_space();
-        let mut maps: HashMap<EdgeType, HashMap<(NodeId, NodeId), f64>> = HashMap::new();
-        let mut units = Vec::with_capacity(record_ids.len());
-
-        for &rid in record_ids {
-            records_seen.incr();
-            let r = self.corpus.record(rid);
-            let t = space.node(NodeType::Time, self.temporal.assign_timestamp(r.timestamp).0);
-            let l = space.node(NodeType::Location, self.spatial.assign(r.location).0);
-            // Distinct keywords: each co-occurrence counts once per record
-            // (Definition 1's example sets all weights of one record to 1).
-            let mut words: Vec<NodeId> = r
-                .keywords
-                .iter()
-                .map(|k| space.node(NodeType::Word, k.0))
-                .collect();
-            words.sort_unstable();
-            words.dedup();
-
-            *maps.entry(EdgeType::TL).or_default().entry((t, l)).or_insert(0.0) += 1.0;
-            for &w in &words {
-                *maps.entry(EdgeType::LW).or_default().entry((l, w)).or_insert(0.0) += 1.0;
-                *maps.entry(EdgeType::WT).or_default().entry((w, t)).or_insert(0.0) += 1.0;
+        let shards = par::par_map_chunks(record_ids, |_, chunk| {
+            let mut acc = ShardAcc::new();
+            for &rid in chunk {
+                self.accumulate(space, rid, &mut acc);
             }
-            for (i, &wi) in words.iter().enumerate() {
-                for &wj in &words[i + 1..] {
-                    *maps.entry(EdgeType::WW).or_default().entry((wi, wj)).or_insert(0.0) += 1.0;
-                }
+            acc
+        });
+
+        let merged = {
+            let _merge_span = obs::span!("stgraph.build.shard_merge");
+            let mut it = shards.into_iter();
+            let mut total = it.next().unwrap_or_else(ShardAcc::new);
+            for acc in it {
+                total.merge(acc);
             }
+            total
+        };
+        obs::counter("stgraph.records").add(record_ids.len() as u64);
+        obs::counter("stgraph.metagraph.intra").add(merged.intra);
+        obs::counter("stgraph.metagraph.inter").add(merged.inter);
 
-            // Each record realizes one intra-record meta-graph instance
-            // (Fig. 3a): its T–L–W clique.
-            intra_instances.incr();
-
-            let mut user_node = None;
-            if self.options.include_users {
-                let author = space.node(NodeType::User, r.user.0);
-                user_node = Some(author);
-                let connect = |u: NodeId, maps: &mut HashMap<EdgeType, HashMap<(NodeId, NodeId), f64>>| {
-                    *maps.entry(EdgeType::UT).or_default().entry((u, t)).or_insert(0.0) += 1.0;
-                    *maps.entry(EdgeType::UL).or_default().entry((u, l)).or_insert(0.0) += 1.0;
-                    for &w in &words {
-                        *maps.entry(EdgeType::UW).or_default().entry((u, w)).or_insert(0.0) += 1.0;
-                    }
-                };
-                connect(author, &mut maps);
-                if self.options.include_mentioned_users {
-                    for &m in &r.mentions {
-                        if m != r.user {
-                            connect(space.node(NodeType::User, m.0), &mut maps);
-                            // A mentioned user realizes one inter-record
-                            // meta-graph instance (Fig. 3b).
-                            inter_instances.incr();
-                        }
-                    }
-                }
-            }
-
-            units.push(RecordUnits {
-                record: rid,
-                time: t,
-                location: l,
-                words,
-                user: user_node,
-            });
-        }
-
+        let maps: HashMap<EdgeType, HashMap<(NodeId, NodeId), f64>> = EdgeType::ALL
+            .iter()
+            .zip(merged.maps)
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(&ty, m)| (ty, m))
+            .collect();
         let graph = ActivityGraph::from_maps(space, maps);
         obs::counter("stgraph.nodes").add(graph.n_nodes() as u64);
         obs::counter("stgraph.edges").add(graph.n_edges() as u64);
-        (graph, units)
+        (graph, merged.units)
+    }
+
+    /// Counts one record into `acc` (one shard's private accumulator).
+    fn accumulate(&self, space: NodeSpace, rid: RecordId, acc: &mut ShardAcc) {
+        let r = self.corpus.record(rid);
+        let t = space.node(NodeType::Time, self.temporal.assign_timestamp(r.timestamp).0);
+        let l = space.node(NodeType::Location, self.spatial.assign(r.location).0);
+        // Distinct keywords: each co-occurrence counts once per record
+        // (Definition 1's example sets all weights of one record to 1).
+        let mut words: Vec<NodeId> = r
+            .keywords
+            .iter()
+            .map(|k| space.node(NodeType::Word, k.0))
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+
+        acc.bump(EdgeType::TL, (t, l));
+        for &w in &words {
+            acc.bump(EdgeType::LW, (l, w));
+            acc.bump(EdgeType::WT, (w, t));
+        }
+        for (i, &wi) in words.iter().enumerate() {
+            for &wj in &words[i + 1..] {
+                acc.bump(EdgeType::WW, (wi, wj));
+            }
+        }
+
+        // Each record realizes one intra-record meta-graph instance
+        // (Fig. 3a): its T–L–W clique.
+        acc.intra += 1;
+
+        let mut user_node = None;
+        if self.options.include_users {
+            let author = space.node(NodeType::User, r.user.0);
+            user_node = Some(author);
+            let connect = |u: NodeId, acc: &mut ShardAcc| {
+                acc.bump(EdgeType::UT, (u, t));
+                acc.bump(EdgeType::UL, (u, l));
+                for &w in &words {
+                    acc.bump(EdgeType::UW, (u, w));
+                }
+            };
+            connect(author, acc);
+            if self.options.include_mentioned_users {
+                for &m in &r.mentions {
+                    if m != r.user {
+                        connect(space.node(NodeType::User, m.0), acc);
+                        // A mentioned user realizes one inter-record
+                        // meta-graph instance (Fig. 3b).
+                        acc.inter += 1;
+                    }
+                }
+            }
+        }
+
+        acc.units.push(RecordUnits {
+            record: rid,
+            time: t,
+            location: l,
+            words,
+            user: user_node,
+        });
+    }
+}
+
+/// One shard's private co-occurrence counts, unit rows, and meta-graph
+/// instance tallies. Map values stay integer-valued, so merging shards by
+/// per-key addition is exact regardless of shard count.
+struct ShardAcc {
+    /// Count maps indexed by [`EdgeType::index`].
+    maps: Vec<HashMap<(NodeId, NodeId), f64>>,
+    units: Vec<RecordUnits>,
+    intra: u64,
+    inter: u64,
+}
+
+impl ShardAcc {
+    fn new() -> Self {
+        Self {
+            maps: (0..EdgeType::ALL.len()).map(|_| HashMap::new()).collect(),
+            units: Vec::new(),
+            intra: 0,
+            inter: 0,
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, ty: EdgeType, key: (NodeId, NodeId)) {
+        *self.maps[ty.index()].entry(key).or_insert(0.0) += 1.0;
+    }
+
+    /// Folds `other` (a later shard) into `self`. Units concatenate in
+    /// shard order — shards are contiguous record ranges, so the result is
+    /// the serial record order.
+    fn merge(&mut self, other: Self) {
+        for (total, map) in self.maps.iter_mut().zip(other.maps) {
+            for (key, w) in map {
+                *total.entry(key).or_insert(0.0) += w;
+            }
+        }
+        self.units.extend(other.units);
+        self.intra += other.intra;
+        self.inter += other.inter;
     }
 }
 

@@ -18,11 +18,13 @@ pub struct TypedEdges {
 }
 
 impl TypedEdges {
-    fn build(n_nodes: usize, mut map: HashMap<(NodeId, NodeId), f64>) -> Self {
+    fn build(n_nodes: usize, map: &HashMap<(NodeId, NodeId), f64>) -> Self {
         let mut edges: Vec<Edge> = map
-            .drain()
-            .map(|((a, b), weight)| Edge { a, b, weight })
+            .iter()
+            .map(|(&(a, b), &weight)| Edge { a, b, weight })
             .collect();
+        // Canonical sort: the edge list (and the CSR derived from it) is
+        // independent of the map's iteration order.
         edges.sort_by_key(|e| (e.a, e.b));
         let csr = Csr::build(n_nodes, &edges);
         Self { edges, csr }
@@ -46,20 +48,22 @@ impl ActivityGraph {
     /// Assembles the graph from accumulated co-occurrence maps.
     ///
     /// Keys must be in the edge type's canonical endpoint order; `WW` keys
-    /// must have `a < b`.
+    /// must have `a < b`. The per-type edge-list sorts and CSR builds are
+    /// independent, so they run in parallel (order-preserving over
+    /// [`EdgeType::ALL`]); each table is deterministic given its map.
     pub(crate) fn from_maps(
         space: NodeSpace,
         mut maps: HashMap<EdgeType, HashMap<(NodeId, NodeId), f64>>,
     ) -> Self {
+        let _span = obs::span!("stgraph.build.tables");
         let n = space.len();
-        let per_type = EdgeType::ALL
+        let type_maps: Vec<Option<HashMap<(NodeId, NodeId), f64>>> = EdgeType::ALL
             .iter()
-            .map(|ty| {
-                maps.remove(ty)
-                    .filter(|m| !m.is_empty())
-                    .map(|m| TypedEdges::build(n, m))
-            })
+            .map(|ty| maps.remove(ty).filter(|m| !m.is_empty()))
             .collect();
+        let per_type = par::par_map(&type_maps, |_, m| {
+            m.as_ref().map(|m| TypedEdges::build(n, m))
+        });
         Self { space, per_type }
     }
 

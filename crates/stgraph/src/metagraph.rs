@@ -164,17 +164,23 @@ impl MetaGraph {
                 .map_or(0.0, |te| te.csr.degree(u) as f64)
         };
         let types = self.unit_set().types();
-        let mut total = 0.0;
-        for &(a, b, _) in users.edges() {
-            let ua = space.node(NodeType::User, a.0);
-            let ub = space.node(NodeType::User, b.0);
-            let mut prod = 1.0;
-            for &ty in &types {
-                prod *= deg(ua, ty) * deg(ub, ty);
-            }
-            total += prod;
-        }
-        total
+        // Sharded over the user-interaction edge list; degrees are integer
+        // counts so the partial sums (merged in shard order) are exact and
+        // the total matches a serial scan bit for bit.
+        par::par_accumulate(
+            users.edges(),
+            || 0.0f64,
+            |acc, _, &(a, b, _)| {
+                let ua = space.node(NodeType::User, a.0);
+                let ub = space.node(NodeType::User, b.0);
+                let mut prod = 1.0;
+                for &ty in &types {
+                    prod *= deg(ua, ty) * deg(ub, ty);
+                }
+                *acc += prod;
+            },
+            |total, acc| *total += acc,
+        )
     }
 
     /// Scheme name (`M0` … `M6`).

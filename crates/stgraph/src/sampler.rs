@@ -43,6 +43,16 @@ impl EdgeSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (NodeId, NodeId) {
         self.edges[self.alias.sample(rng)]
     }
+
+    /// The canonical edge list backing the sampler.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// The underlying alias table (determinism checks).
+    pub fn alias(&self) -> &AliasTable {
+        &self.alias
+    }
 }
 
 /// Negative-sample table for one (edge type, context side).
@@ -105,6 +115,16 @@ impl NegativeTable {
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
         self.nodes[self.alias.sample(rng)]
+    }
+
+    /// The candidate nodes backing the table.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The underlying alias table (determinism checks).
+    pub fn alias(&self) -> &AliasTable {
+        &self.alias
     }
 }
 

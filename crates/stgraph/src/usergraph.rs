@@ -21,17 +21,28 @@ impl UserGraph {
     /// Builds the graph from the mentions of the given records of `corpus`
     /// (pass the training split's record ids to avoid test leakage).
     pub fn build(corpus: &Corpus, record_ids: &[RecordId]) -> Self {
-        let mut weights: HashMap<(UserId, UserId), f64> = HashMap::new();
-        for &rid in record_ids {
-            let r = corpus.record(rid);
-            for &m in &r.mentions {
-                if m == r.user {
-                    continue; // self-mentions carry no interaction signal
+        // Sharded over records into private count maps merged per key in
+        // shard order; mention counts are integers, so the merged weights
+        // (and the sorted edge list below) match a serial build exactly.
+        let weights = par::par_accumulate(
+            record_ids,
+            HashMap::<(UserId, UserId), f64>::new,
+            |acc, _, &rid| {
+                let r = corpus.record(rid);
+                for &m in &r.mentions {
+                    if m == r.user {
+                        continue; // self-mentions carry no interaction signal
+                    }
+                    let key = if r.user < m { (r.user, m) } else { (m, r.user) };
+                    *acc.entry(key).or_insert(0.0) += 1.0;
                 }
-                let key = if r.user < m { (r.user, m) } else { (m, r.user) };
-                *weights.entry(key).or_insert(0.0) += 1.0;
-            }
-        }
+            },
+            |total, acc| {
+                for (key, w) in acc {
+                    *total.entry(key).or_insert(0.0) += w;
+                }
+            },
+        );
         Self::from_weights(corpus.num_users(), weights)
     }
 

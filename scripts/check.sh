@@ -19,6 +19,10 @@ cargo run -q -p actor-bench --release --bin serve_load -- --smoke
 echo "== publish latency smoke (full rebuild vs delta apply) =="
 cargo run -q -p actor-bench --release --bin publish_latency -- --smoke
 
+echo "== parallel preprocessing: determinism suite + scaling smoke =="
+cargo test -q --test parallel_determinism
+cargo run -q -p actor-bench --release --bin preprocess_scaling -- --smoke
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -42,6 +42,7 @@
 //! | [`eval`] | MRR, prediction tasks, neighbor search, case studies |
 //! | [`resilience`] | checkpoint envelopes, retry/divergence policies, fault injection |
 //! | [`serve`] | online query engine: ANN index, query cache, snapshot hot-swap |
+//! | [`par`] | deterministic scoped-thread data parallelism for preprocessing |
 
 pub use actor_core as core;
 pub use baselines;
@@ -49,6 +50,7 @@ pub use embed;
 pub use evalkit as eval;
 pub use hotspot;
 pub use mobility;
+pub use par;
 pub use resilience;
 pub use serve;
 pub use stgraph;

@@ -1,0 +1,183 @@
+//! Determinism suite for the parallel preprocessing front-end.
+//!
+//! The contract (docs/PERFORMANCE.md): for any thread count, the parallel
+//! hotspot detectors, activity/user graphs, alias tables, and meta-graph
+//! instance counts are **bit-identical** to a single-threaded run —
+//! merges are order-canonical, never first-writer-wins. This suite builds
+//! the full preprocessing state at 1, 2, and 8 threads (plus a repeated
+//! 8-thread run) and compares every output bit for bit: floats are
+//! compared through `to_bits`, structures through their serialized bytes.
+
+use actor_st::hotspot::{MeanShiftParams, SpatialHotspots, TemporalHotspots};
+use actor_st::prelude::*;
+use actor_st::stgraph::{
+    ActivityGraphBuilder, BuildOptions, EdgeSampler, EdgeType, MetaGraph, NegativeTable,
+    UserGraph,
+};
+use mobility::RecordId;
+
+/// Everything the preprocessing front-end produces, flattened to
+/// exactly-comparable form.
+///
+/// Alias tables compare as `(node ids, prob bits, alias column)`.
+type AliasPrint = (Vec<u32>, Vec<u64>, Vec<u32>);
+/// Edge samplers compare as `(edge list, prob bits, alias column)`.
+type SamplerPrint = (Vec<(u32, u32)>, Vec<u64>, Vec<u32>);
+
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    spatial_centers: Vec<(u64, u64)>,
+    spatial_counts: Vec<usize>,
+    temporal_centers: Vec<u64>,
+    temporal_counts: Vec<usize>,
+    /// Serialized `ActivityGraph`: edge lists and CSR layout, byte for byte.
+    graph_bytes: String,
+    units_bytes: String,
+    user_graph_bytes: String,
+    /// Per edge type: sampler edge list + alias table columns.
+    samplers: Vec<Option<SamplerPrint>>,
+    /// Per edge type and side: negative table nodes + alias columns.
+    neg_tables: Vec<Vec<AliasPrint>>,
+    metagraph_counts: Vec<u64>,
+}
+
+fn fingerprint(corpus: &Corpus, train_ids: &[RecordId], n_threads: usize) -> Fingerprint {
+    let _guard = par::override_threads(n_threads);
+
+    let points: Vec<GeoPoint> = train_ids.iter().map(|&id| corpus.record(id).location).collect();
+    let seconds: Vec<f64> = train_ids
+        .iter()
+        .map(|&id| corpus.record(id).second_of_day())
+        .collect();
+    let spatial = SpatialHotspots::detect(&points, MeanShiftParams::with_bandwidth(0.01), 3);
+    let temporal = TemporalHotspots::detect(&seconds, MeanShiftParams::with_bandwidth(1800.0), 3);
+
+    let builder = ActivityGraphBuilder::new(corpus, &spatial, &temporal, BuildOptions::default());
+    let (graph, units) = builder.build(train_ids);
+    let user_graph = UserGraph::build(corpus, train_ids);
+
+    let samplers = EdgeType::ALL
+        .iter()
+        .map(|&ty| {
+            EdgeSampler::new(&graph, ty).map(|s| {
+                (
+                    s.edges().iter().map(|&(a, b)| (a.0, b.0)).collect(),
+                    s.alias().probs().iter().map(|p| p.to_bits()).collect(),
+                    s.alias().aliases().to_vec(),
+                )
+            })
+        })
+        .collect();
+    let neg_tables = EdgeType::ALL
+        .iter()
+        .map(|&ty| {
+            let (a, b) = ty.endpoints();
+            [a, b]
+                .into_iter()
+                .filter_map(|side| NegativeTable::new(&graph, ty, side))
+                .map(|t| {
+                    (
+                        t.nodes().iter().map(|n| n.0).collect(),
+                        t.alias().probs().iter().map(|p| p.to_bits()).collect(),
+                        t.alias().aliases().to_vec(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let metagraph_counts = MetaGraph::ALL
+        .iter()
+        .map(|m| m.count_instances(&graph, &user_graph).to_bits())
+        .collect();
+
+    Fingerprint {
+        spatial_centers: spatial
+            .centers()
+            .iter()
+            .map(|p| (p.lat.to_bits(), p.lon.to_bits()))
+            .collect(),
+        spatial_counts: spatial.counts().to_vec(),
+        temporal_centers: temporal.centers().iter().map(|c| c.to_bits()).collect(),
+        temporal_counts: temporal.counts().to_vec(),
+        graph_bytes: serde_json::to_string(&graph).unwrap(),
+        units_bytes: serde_json::to_string(&units).unwrap(),
+        user_graph_bytes: serde_json::to_string(&user_graph).unwrap(),
+        samplers,
+        neg_tables,
+        metagraph_counts,
+    }
+}
+
+fn corpus_and_split() -> (Corpus, Vec<RecordId>) {
+    // Utgeo2011 has mentions, so the user graph, UT/UL/UW types, and all
+    // six inter meta-graph schemes are exercised.
+    let (corpus, _) = generate(DatasetPreset::Utgeo2011.small_config(20140801)).unwrap();
+    let split = CorpusSplit::new(&corpus, SplitSpec::default()).unwrap();
+    (corpus, split.train)
+}
+
+#[test]
+fn preprocessing_is_bit_identical_across_thread_counts() {
+    let (corpus, train) = corpus_and_split();
+    let serial = fingerprint(&corpus, &train, 1);
+    assert!(!serial.spatial_centers.is_empty());
+    assert!(!serial.temporal_centers.is_empty());
+    assert!(serial.samplers.iter().flatten().count() >= 4);
+
+    for n in [2usize, 8] {
+        let parallel = fingerprint(&corpus, &train, n);
+        assert_eq!(
+            serial.spatial_centers, parallel.spatial_centers,
+            "spatial centers diverge at {n} threads"
+        );
+        assert_eq!(serial.spatial_counts, parallel.spatial_counts);
+        assert_eq!(serial.temporal_centers, parallel.temporal_centers);
+        assert_eq!(serial.temporal_counts, parallel.temporal_counts);
+        assert_eq!(
+            serial.graph_bytes, parallel.graph_bytes,
+            "activity graph (CSR bytes) diverges at {n} threads"
+        );
+        assert_eq!(serial.units_bytes, parallel.units_bytes);
+        assert_eq!(serial.user_graph_bytes, parallel.user_graph_bytes);
+        assert_eq!(
+            serial.samplers, parallel.samplers,
+            "alias tables diverge at {n} threads"
+        );
+        assert_eq!(serial.neg_tables, parallel.neg_tables);
+        assert_eq!(
+            serial.metagraph_counts, parallel.metagraph_counts,
+            "meta-graph instance counts diverge at {n} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_at_eight_threads_are_identical() {
+    let (corpus, train) = corpus_and_split();
+    let a = fingerprint(&corpus, &train, 8);
+    let b = fingerprint(&corpus, &train, 8);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn full_fit_is_unchanged_by_preprocessing_threads() {
+    // End-to-end guard: the trained model (which consumes hotspots, graph,
+    // and alias tables, and already fixes its own SGD thread count via
+    // `ActorConfig::threads`) must not observe the preprocessing thread
+    // count at all.
+    let (corpus, train) = corpus_and_split();
+    let mut config = ActorConfig::fast();
+    config.threads = 1; // single-threaded SGD is bit-deterministic
+    let centers = |n: usize| {
+        let _guard = par::override_threads(n);
+        let (model, _) = fit(&corpus, &train, &config).unwrap();
+        model
+            .store()
+            .centers
+            .row(0)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<u32>>()
+    };
+    assert_eq!(centers(1), centers(8));
+}
